@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` file regenerates one table or figure of the
+paper.  The expensive artifacts are session-scoped:
+
+* ``trace_analysis`` -- the synthetic crawl + Section III analysis
+  behind Figs 2-13;
+* ``suite`` -- the Section V experiment grid (five system variants on
+  the simulator environment) at a benchmark-friendly scale;
+* ``planetlab_suite`` -- the same grid on the emulated WAN testbed.
+
+The printed rows are the deliverable: every bench emits the measured
+series next to the paper's reported shape so EXPERIMENTS.md can be
+cross-checked from ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import TraceAnalysis
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import EvaluationSuite
+from repro.trace.synthesizer import TraceConfig, TraceSynthesizer
+
+#: Benchmark scale: large enough for the paper's orderings to be
+#: visible (see tests/integration), small enough that the whole bench
+#: suite finishes in minutes.
+BENCH_SIM_CONFIG = SimulationConfig(
+    num_nodes=300,
+    trace=TraceConfig(
+        num_users=300, num_channels=45, num_videos=1500, num_categories=8,
+        seed=2014,
+    ),
+    sessions_per_user=6,
+    videos_per_session=8,
+    mean_off_time_s=300.0,
+    seed=2014,
+)
+
+BENCH_PLANETLAB_CONFIG = SimulationConfig.planetlab_scale(seed=2014).scaled_sessions(6)
+
+
+@pytest.fixture(scope="session")
+def crawl_dataset():
+    """The synthetic stand-in for the paper's YouTube crawl."""
+    return TraceSynthesizer(TraceConfig(seed=20140630)).synthesize()
+
+
+@pytest.fixture(scope="session")
+def trace_analysis(crawl_dataset):
+    return TraceAnalysis(crawl_dataset)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return EvaluationSuite(
+        config=BENCH_SIM_CONFIG, planetlab_config=BENCH_PLANETLAB_CONFIG
+    )
+
+
+def print_figure(rows, paper_shape):
+    """Emit measured rows plus the paper's reference shape."""
+    print()
+    for row in rows:
+        print(row)
+    print(f"  paper shape: {paper_shape}")

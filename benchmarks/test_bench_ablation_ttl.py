@@ -1,0 +1,20 @@
+"""Bench: search-TTL ablation (search reach vs overhead)."""
+
+from conftest import BENCH_SIM_CONFIG, print_figure
+from repro.experiments.ablations import ttl_sweep
+
+
+def test_bench_ablation_ttl(benchmark):
+    result = benchmark.pedantic(
+        lambda: ttl_sweep(BENCH_SIM_CONFIG, ttls=(1, 2, 3)),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        result.render_rows(),
+        "expected: deeper floods find more providers (lower server "
+        "fraction) at the cost of more peers contacted per query; the "
+        "paper fixes TTL=2",
+    )
+    contacted = [p.mean_peers_contacted for p in result.points]
+    assert contacted == sorted(contacted)

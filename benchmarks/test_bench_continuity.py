@@ -1,0 +1,45 @@
+"""Bench (extension): playback continuity per system.
+
+Not a numbered paper figure -- quantifies the paper's Section I QoS
+motivation ("QoS often suffers from massive number of requests to the
+server during peak usage times") with the chunk-level streaming model:
+watches served from a saturated server share stall; peer-served watches
+at healthy rates do not.
+"""
+
+from conftest import print_figure
+from repro.experiments.figures import EvaluationFigure, FigureRow
+
+
+def test_bench_playback_continuity(benchmark, suite):
+    def build():
+        figure = EvaluationFigure(
+            figure="Extension",
+            title="Playback continuity (chunk-level streaming model)",
+        )
+        for label in ("PA-VoD", "SocialTube w/ PF", "NetTube w/ PF"):
+            metrics = suite.result(label).metrics
+            figure.rows.append(
+                FigureRow(
+                    label=label,
+                    values={
+                        "continuity": metrics.mean_continuity_index,
+                        "stalled_watches": metrics.stall_fraction,
+                        "mean_stall_ms": metrics.mean_stall_ms,
+                    },
+                )
+            )
+        return figure
+
+    figure = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_figure(
+        figure.render_rows(),
+        "expected: the P2P systems keep continuity near 1.0; PA-VoD's "
+        "server dependence produces the most stalled watches",
+    )
+    values = {row.label: row.values for row in figure.rows}
+    assert (
+        values["PA-VoD"]["stalled_watches"]
+        >= values["SocialTube w/ PF"]["stalled_watches"]
+    )
+    assert values["SocialTube w/ PF"]["continuity"] > 0.9

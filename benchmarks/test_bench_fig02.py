@@ -1,0 +1,14 @@
+"""Bench: Fig 2 -- # of videos added over time (upload growth)."""
+
+from conftest import print_figure
+
+
+def test_bench_fig02_videos_added_over_time(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig2_videos_added_over_time)
+    print_figure(
+        figure.render_rows(),
+        "upload volume grows steeply over the two crawled years (O1); "
+        f"measured growth ratio {figure.notes['growth_ratio']:.2f}x "
+        "(second half vs first half)",
+    )
+    assert figure.notes["growth_ratio"] > 1.5

@@ -1,0 +1,13 @@
+"""Bench: Fig 3 -- CDF of per-channel video view frequency."""
+
+from conftest import print_figure
+
+
+def test_bench_fig03_channel_view_frequency(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig3_channel_view_frequency_cdf)
+    print_figure(
+        figure.render_rows(),
+        "paper: 20% of channels < 39 views/day, 80% < 233,285, top 1% > "
+        "783,240 -- i.e. orders-of-magnitude spread across channels",
+    )
+    assert figure.notes["p99"] > 20 * max(figure.notes["p20"], 1e-9)

@@ -1,0 +1,13 @@
+"""Bench: Fig 4 -- CDF of subscribers per channel."""
+
+from conftest import print_figure
+
+
+def test_bench_fig04_channel_subscribers(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig4_channel_subscribers_cdf)
+    print_figure(
+        figure.render_rows(),
+        "paper: bottom 25% of channels < 100 subscribers, top 25% > 1,390 "
+        "-- channel popularity varies widely (O2)",
+    )
+    assert figure.notes["p75"] >= 4 * max(figure.notes["p25"], 1.0)

@@ -1,0 +1,14 @@
+"""Bench: Fig 5 -- channel total views vs subscriptions (correlation)."""
+
+from conftest import print_figure
+
+
+def test_bench_fig05_views_vs_subscriptions(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig5_views_vs_subscriptions)
+    print_figure(
+        figure.render_rows(max_rows=6),
+        "paper: the scatter 'clearly indicates a strong, positive "
+        "correlation between the number of subscriptions and the total "
+        "number of views'",
+    )
+    assert figure.notes["log_pearson"] > 0.5

@@ -1,0 +1,13 @@
+"""Bench: Fig 6 -- CDF of videos per channel."""
+
+from conftest import print_figure
+
+
+def test_bench_fig06_videos_per_channel(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig6_videos_per_channel_cdf)
+    print_figure(
+        figure.render_rows(),
+        "paper: 50% of channels have <= 9 videos, top 25% > 36, top 10% "
+        "> 116 -- heavy-tailed channel sizes",
+    )
+    assert figure.notes["p90"] > 3 * max(figure.notes["p50"], 1.0)

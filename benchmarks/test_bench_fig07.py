@@ -1,0 +1,13 @@
+"""Bench: Fig 7 -- CDF of views per video."""
+
+from conftest import print_figure
+
+
+def test_bench_fig07_video_views(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig7_video_views_cdf)
+    print_figure(
+        figure.render_rows(),
+        "paper: 50% of videos <= 5,517 views, 10% > 385,000 -- a small "
+        "set of videos draws most attention (O3)",
+    )
+    assert figure.notes["p99"] > 10 * max(figure.notes["p50"], 1.0)

@@ -1,0 +1,13 @@
+"""Bench: Fig 8 -- CDF of favorites per video (+ views correlation)."""
+
+from conftest import print_figure
+
+
+def test_bench_fig08_favorites(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig8_favorites_cdf)
+    print_figure(
+        figure.render_rows(),
+        "paper: bottom 20% < 5 favorites, 75% < 2,115, top 10% > 9,865; "
+        "favorites strongly correlated with views (Pearson ~1, [35])",
+    )
+    assert figure.notes["views_pearson"] > 0.8

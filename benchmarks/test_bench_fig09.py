@@ -1,0 +1,15 @@
+"""Bench: Fig 9 -- within-channel popularity follows Zipf(s~1)."""
+
+from conftest import print_figure
+
+
+def test_bench_fig09_within_channel_zipf(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig9_within_channel_popularity)
+    print_figure(
+        figure.render_rows(max_rows=6),
+        "paper: views within the most popular channel roughly follow the "
+        "Zipf distribution (s = 1); popularity varies within every "
+        "channel tier -- the basis of channel-facilitated prefetching",
+    )
+    for tier in ("high", "medium", "low"):
+        assert -1.6 < figure.notes[f"{tier}_zipf_slope"] < -0.5

@@ -1,0 +1,13 @@
+"""Bench: Fig 11 -- CDF of video categories per channel."""
+
+from conftest import print_figure
+
+
+def test_bench_fig11_interests_per_channel(benchmark, trace_analysis, crawl_dataset):
+    figure = benchmark(trace_analysis.fig11_interests_per_channel_cdf)
+    print_figure(
+        figure.render_rows(),
+        "paper: channels are generally focused on a small number of "
+        "video categories (O5)",
+    )
+    assert figure.notes["p50"] <= crawl_dataset.num_categories / 2

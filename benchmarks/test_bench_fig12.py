@@ -1,0 +1,13 @@
+"""Bench: Fig 12 -- similarity between user interests and subscriptions."""
+
+from conftest import print_figure
+
+
+def test_bench_fig12_interest_similarity(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig12_interest_similarity_cdf)
+    print_figure(
+        figure.render_rows(),
+        "paper: similarities span [0, 1]; users tend to subscribe to "
+        "channels that match their interests (O5)",
+    )
+    assert figure.notes["p50"] >= 0.5

@@ -1,0 +1,14 @@
+"""Bench: Fig 13 -- CDF of personal interests per user."""
+
+from conftest import print_figure
+
+
+def test_bench_fig13_interests_per_user(benchmark, trace_analysis):
+    figure = benchmark(trace_analysis.fig13_interests_per_user_cdf)
+    print_figure(
+        figure.render_rows(),
+        "paper: ~60% of users have fewer than 10 interests; maximum "
+        "observed is 18 -- users hold a limited number of interests",
+    )
+    assert figure.notes["max"] <= 18
+    assert figure.notes["frac_below_10"] >= 0.55

@@ -1,0 +1,17 @@
+"""Bench: Fig 15 -- analytical maintenance-overhead model."""
+
+from conftest import print_figure
+
+
+def test_bench_fig15_maintenance_model(benchmark, suite):
+    figure = benchmark(suite.fig15_maintenance_model)
+    print_figure(
+        figure.render_rows(),
+        "paper: with u=500, u_c=5,000, u_t=250,000 -- NetTube's overhead "
+        "grows linearly in videos watched (m*log u) while SocialTube's "
+        "stays constant (log u_c + log u_t); NetTube is cheaper only for "
+        "very small m",
+    )
+    rows = {row.label: row.values for row in figure.rows}
+    assert rows["m=1"]["NetTube"] < rows["m=1"]["SocialTube"]
+    assert rows["m=50"]["NetTube"] > rows["m=50"]["SocialTube"]

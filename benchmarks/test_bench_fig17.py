@@ -1,0 +1,44 @@
+"""Bench: Fig 17 -- startup delay with and without prefetching."""
+
+from functools import partial
+
+from conftest import print_figure
+
+
+def _check(figure):
+    values = {row.label: row.values for row in figure.rows}
+    st_pf = values["SocialTube w/ PF"]["mean_ms"]
+    st_nopf = values["SocialTube w/o PF"]["mean_ms"]
+    nt_pf = values["NetTube w/ PF"]["mean_ms"]
+    nt_nopf = values["NetTube w/o PF"]["mean_ms"]
+    pavod = values["PA-VoD"]["mean_ms"]
+    assert pavod > max(st_pf, st_nopf, nt_pf, nt_nopf)
+    assert st_pf < nt_pf
+    assert st_nopf < nt_nopf
+    assert st_pf < st_nopf
+    assert nt_pf < nt_nopf
+
+
+def test_bench_fig17a_startup_delay_simulator(benchmark, suite):
+    figure = benchmark.pedantic(
+        partial(suite.fig17_startup_delay, "peersim"), rounds=1, iterations=1
+    )
+    print_figure(
+        figure.render_rows(),
+        "paper (sim): PA-VoD worst (server overload); SocialTube < NetTube "
+        "both with and without prefetching; each system's prefetching "
+        "reduces its own delay, SocialTube's channel-based prefetch "
+        "gaining more than NetTube's random one",
+    )
+    _check(figure)
+
+
+def test_bench_fig17b_startup_delay_planetlab(benchmark, suite):
+    figure = benchmark.pedantic(
+        partial(suite.fig17_startup_delay, "planetlab"), rounds=1, iterations=1
+    )
+    print_figure(
+        figure.render_rows(),
+        "paper (PlanetLab): same ordering under real transmission delays",
+    )
+    _check(figure)

@@ -1,0 +1,43 @@
+"""Bench: Fig 18 -- overlay maintenance overhead over a session."""
+
+from functools import partial
+
+from conftest import print_figure
+
+
+def _series(figure, label):
+    values = {row.label: row.values for row in figure.rows}[label]
+    return [values[k] for k in sorted(values, key=lambda s: int(s[1:]))]
+
+
+def _check(figure):
+    socialtube = _series(figure, "SocialTube")
+    nettube = _series(figure, "NetTube")
+    assert nettube[-1] > 1.8 * max(nettube[0], 1.0)      # NetTube grows
+    assert socialtube[-1] < 1.4 * max(socialtube[0], 1.0)  # SocialTube flat
+    assert nettube[-1] > socialtube[-1]
+
+
+def test_bench_fig18a_maintenance_overhead_simulator(benchmark, suite):
+    figure = benchmark.pedantic(
+        partial(suite.fig18_maintenance_overhead, "peersim"), rounds=1, iterations=1
+    )
+    print_figure(
+        figure.render_rows(),
+        "paper (sim): SocialTube holds ~15 links at all times after the "
+        "initial phase; NetTube starts low and accumulates ~linearly, "
+        "ending ~35 links above SocialTube at paper scale",
+    )
+    _check(figure)
+
+
+def test_bench_fig18b_maintenance_overhead_planetlab(benchmark, suite):
+    figure = benchmark.pedantic(
+        partial(suite.fig18_maintenance_overhead, "planetlab"), rounds=1, iterations=1
+    )
+    print_figure(
+        figure.render_rows(),
+        "paper (PlanetLab): SocialTube demands significantly lower "
+        "maintenance overhead than NetTube",
+    )
+    _check(figure)

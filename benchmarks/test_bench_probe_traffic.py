@@ -1,0 +1,53 @@
+"""Bench (extension): probe-message cost implied by Fig 18.
+
+Prices the paper's 10-minute neighbor probing against the measured
+link-count series.  Probe traffic is proportional to the area under the
+Fig 18 curves, so this is the Fig 15 crossover made concrete: for short
+sessions NetTube's young overlays are cheap, but its cost grows with
+every video watched while SocialTube's stays flat.
+"""
+
+from conftest import print_figure
+from repro.overlay.maintenance import compare_probe_traffic
+
+
+def test_bench_probe_traffic(benchmark, suite):
+    def build():
+        series = {
+            "SocialTube": suite.result("SocialTube w/ PF").metrics.overhead_series(),
+            "NetTube": suite.result("NetTube w/ PF").metrics.overhead_series(),
+        }
+        # Session duration ~ videos x mean video length (210 s).
+        session_s = suite.config.videos_per_session * 210.0
+        return series, compare_probe_traffic(series, session_duration_s=session_s)
+
+    series, estimates = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = ["Extension: probe traffic (10-minute probe period)"]
+    rows.extend(e.render() for e in estimates)
+
+    def slope(points):
+        return (points[-1][1] - points[0][1]) / max(1, points[-1][0] - points[0][0])
+
+    nettube_slope = slope(series["NetTube"])
+    socialtube_slope = slope(series["SocialTube"])
+    crossover = (
+        (series["SocialTube"][-1][1] - series["NetTube"][0][1]) / nettube_slope
+        if nettube_slope > 0
+        else float("inf")
+    )
+    rows.append(
+        f"  per-video link growth: NetTube {nettube_slope:.2f}, "
+        f"SocialTube {socialtube_slope:.2f}; probe-cost crossover at "
+        f"~{crossover:.1f} videos watched"
+    )
+    print_figure(
+        rows,
+        "expected (Fig 15's crossover, priced in probes): NetTube starts "
+        "cheap but its cost grows ~linearly per video watched; "
+        "SocialTube's stays flat, so it wins for any realistic session "
+        "length",
+    )
+    assert nettube_slope > 0.5
+    assert abs(socialtube_slope) < 0.2
+    # By the end of a session NetTube maintains (and probes) more links.
+    assert series["NetTube"][-1][1] > series["SocialTube"][-1][1]

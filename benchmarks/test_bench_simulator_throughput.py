@@ -1,0 +1,42 @@
+"""Bench: raw simulator throughput per protocol.
+
+Not a paper figure -- measures the reproduction's own engine: full
+micro-scale experiment runs (trace synthesis excluded via a shared
+dataset) so regressions in the event loop, search, or bandwidth model
+show up as timing changes.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.trace.synthesizer import TraceConfig, TraceSynthesizer
+
+MICRO = SimulationConfig(
+    num_nodes=100,
+    trace=TraceConfig(num_users=100, num_channels=20, num_videos=600,
+                      num_categories=6, seed=41),
+    sessions_per_user=3,
+    videos_per_session=6,
+    mean_off_time_s=120.0,
+    seed=41,
+)
+
+_dataset = None
+
+
+def _run(protocol_name):
+    global _dataset
+    if _dataset is None:
+        _dataset = TraceSynthesizer(MICRO.trace).synthesize()
+    runner = ExperimentRunner(MICRO, protocol_name=protocol_name, dataset=_dataset)
+    return runner.run()
+
+
+@pytest.mark.parametrize("protocol", ["pavod", "nettube", "socialtube"])
+def test_bench_simulator_throughput(benchmark, protocol):
+    result = benchmark.pedantic(lambda: _run(protocol), rounds=2, iterations=1)
+    requests = result.metrics.num_requests
+    print(f"\n{protocol}: {requests} requests, "
+          f"{result.events_processed} events processed")
+    assert requests == MICRO.num_nodes * 3 * 6

@@ -1,0 +1,18 @@
+"""Bench: Table I -- experiment default parameters."""
+
+from conftest import print_figure
+
+
+def test_bench_table1_parameters(benchmark, suite):
+    figure = benchmark(suite.table1_parameters)
+    print_figure(
+        figure.render_rows(),
+        "paper Table I: 30-day simulation, 10,000 nodes, ~10,121 videos, "
+        "545 channels, 20 chunks/video, 320 kbps bitrate, 500 Mbps server; "
+        "benchmark runs use a proportionally scaled config (same per-node "
+        "server bandwidth ratio)",
+    )
+    values = {row.label: row.values for row in figure.rows}
+    ours = values["Server bandwidth (Mbps)"]["this_run"] / values["Number of nodes"]["this_run"]
+    papers = values["Server bandwidth (Mbps)"]["paper"] / values["Number of nodes"]["paper"]
+    assert abs(ours - papers) < 1e-9  # the saturation regime is preserved

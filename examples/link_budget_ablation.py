@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Ablation: how many overlay links should a node maintain?
+
+The paper's Section VI future work: "study the impact of the different
+number of links per node on the video sharing performance and explore
+the value that can achieve an optimal tradeoff between the system
+maintenance overhead and availability of peer video providers."
+
+Sweeps (N_l, N_h) and the search TTL on a small network, printing
+availability (normalized peer bandwidth), startup delay, realised link
+overhead, and the derived best tradeoff.
+
+Run:  python examples/link_budget_ablation.py
+"""
+
+from repro.experiments.ablations import link_budget_sweep, ttl_sweep
+from repro.experiments.config import SimulationConfig
+from repro.trace.synthesizer import TraceConfig
+
+
+def main() -> None:
+    config = SimulationConfig(
+        num_nodes=200,
+        trace=TraceConfig(
+            num_users=200, num_channels=30, num_videos=1000,
+            num_categories=6, seed=13,
+        ),
+        sessions_per_user=4,
+        videos_per_session=8,
+        mean_off_time_s=240.0,
+        seed=13,
+    )
+    links = link_budget_sweep(
+        config, budgets=((1, 2), (3, 6), (5, 10), (8, 16), (12, 24))
+    )
+    print("\n".join(links.render_rows()))
+    print()
+    ttls = ttl_sweep(config, ttls=(1, 2, 3))
+    print("\n".join(ttls.render_rows()))
+    print()
+    print(
+        "Expected shape: availability rises steeply out of the starved "
+        "budgets and saturates around the paper's (5, 10); deeper TTLs "
+        "trade more peers contacted per query for fewer server "
+        "fallbacks, with TTL=2 capturing most of the benefit."
+    )
+
+
+if __name__ == "__main__":
+    main()

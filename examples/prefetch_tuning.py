@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Ablation: how many first chunks should a node prefetch?
+
+Section IV-B derives the prefetch accuracy analytically from the
+within-channel Zipf popularity (26.2% for one chunk in a 25-video
+channel, 54.6% for 3-4).  This example sweeps the prefetch window M and
+compares the analytical prediction with the measured hit rate and the
+startup-delay improvement -- the paper's future-work question about the
+overhead/benefit tradeoff.
+
+Run:  python examples/prefetch_tuning.py
+"""
+
+from repro.core.model import prefetch_accuracy
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_experiment
+
+
+def main() -> None:
+    base = SimulationConfig.smoke_scale(seed=5)
+    print("Analytical accuracy for a 25-video channel (Section IV-B):")
+    for m in (0, 1, 2, 3, 4, 6, 8):
+        print(f"  M={m}: {prefetch_accuracy(25, m):.3f}")
+    print()
+    print(f"{'M':>3} {'hit rate':>9} {'startup mean ms':>16} {'startup p99 ms':>15}")
+    for window in (0, 1, 3, 6, 10):
+        config = SimulationConfig.smoke_scale(seed=5)
+        config.prefetch_window = window
+        config.enable_prefetch = window > 0
+        result = run_experiment("socialtube", config=config)
+        metrics = result.metrics
+        print(
+            f"{window:>3} {result.prefetch_hit_rate:>9.3f} "
+            f"{metrics.startup_delay_ms_mean:>16.1f} "
+            f"{metrics.startup_delay_ms_p99:>15.1f}"
+        )
+    print()
+    print(
+        "Expected shape: hit rate grows with M with diminishing returns "
+        "(Zipf mass concentrates in the top ranks), and mean startup "
+        "delay drops accordingly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""The paper's headline comparison: SocialTube vs NetTube vs PA-VoD.
+
+Runs the three systems on identical workloads (same trace, same churn,
+same seeds) and prints the Fig 16/17/18 data plus the qualitative shape
+checks -- who wins, by roughly what factor -- that define a successful
+reproduction.
+
+Run:  python examples/protocol_comparison.py          (~2-3 minutes)
+      python examples/protocol_comparison.py --quick  (seconds)
+"""
+
+import sys
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import EvaluationSuite
+from repro.experiments.report import render_report, render_shape_checks, shape_checks
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    config = (
+        SimulationConfig.smoke_scale(seed=11)
+        if quick
+        else SimulationConfig.default_scale(seed=11)
+    )
+    suite = EvaluationSuite(config=config)
+    figures = [
+        suite.fig15_maintenance_model(),
+        suite.fig16_peer_bandwidth("peersim"),
+        suite.fig17_startup_delay("peersim"),
+        suite.fig18_maintenance_overhead("peersim"),
+    ]
+    print(render_report(figures))
+    print(render_shape_checks(shape_checks(suite)))
+
+
+if __name__ == "__main__":
+    main()

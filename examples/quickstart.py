@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Quickstart: run SocialTube on a small synthetic YouTube network.
+
+Synthesizes a social-network trace, runs one SocialTube experiment on
+the event-driven simulator, and prints the three metrics the paper
+evaluates (startup delay, normalized peer bandwidth, maintenance
+overhead).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_experiment
+
+
+def main() -> None:
+    config = SimulationConfig.smoke_scale(seed=7)
+    print(
+        f"Running SocialTube: {config.num_nodes} nodes, "
+        f"{config.trace.num_channels} channels, {config.trace.num_videos} videos, "
+        f"{config.sessions_per_user} sessions x {config.videos_per_session} videos"
+    )
+    result = run_experiment("socialtube", config=config)
+    print()
+    print("\n".join(result.render_rows()))
+    print()
+    print(
+        "Reading the output: a node keeps ~N_l + N_h links at all times "
+        f"(configured {config.inner_links}+{config.inter_links}), most chunks "
+        "come from peers rather than the server, and prefetching the "
+        "channel's popular videos gives near-zero startup on hits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""SocialTube reproduction.
+
+A from-scratch Python reproduction of "An Interest-based Per-Community
+P2P Hierarchical Structure for Short Video Sharing in the YouTube
+Social Network" (Shen, Lin, Chandler -- ICDCS 2014): the SocialTube
+protocol, the NetTube and PA-VoD baselines, a synthetic YouTube
+social-network trace with the paper's statistical structure, an
+event-driven simulator, an emulated PlanetLab testbed, and a harness
+that regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.config import SimulationConfig
+
+    result = run_experiment("socialtube", config=SimulationConfig.smoke_scale())
+    print("\n".join(result.render_rows()))
+"""
+
+__version__ = "1.0.0"

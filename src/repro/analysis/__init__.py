@@ -1,0 +1,22 @@
+"""Section III trace analysis.
+
+Reproduces every observation (O1-O5) and figure (Figs 2-13) of the
+paper's trace study against a :class:`repro.trace.TraceDataset`.
+"""
+
+from repro.analysis.stats import cdf_points, pearson_correlation, percentile
+from repro.analysis.figures import (
+    FigureSeries,
+    TraceAnalysis,
+)
+from repro.analysis.clustering import ChannelGraph, build_channel_graph
+
+__all__ = [
+    "cdf_points",
+    "pearson_correlation",
+    "percentile",
+    "FigureSeries",
+    "TraceAnalysis",
+    "ChannelGraph",
+    "build_channel_graph",
+]

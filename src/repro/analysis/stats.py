@@ -1,0 +1,148 @@
+"""Small statistics toolkit for the trace analysis and the harness.
+
+Implemented by hand (no scipy dependency in the hot path) so behaviour
+is exact and documented: percentiles use linear interpolation between
+order statistics, matching ``numpy.percentile``'s default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100), linear interpolation.
+
+    Matches numpy's default ("linear") method so harness output is
+    directly comparable with any numpy-based post-processing.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def percentiles(values: Sequence[float], qs: Sequence[float]) -> List[float]:
+    """Vector form of :func:`percentile` (single sort)."""
+    if not values:
+        raise ValueError("percentiles of empty sequence")
+    ordered = sorted(values)
+    out = []
+    n = len(ordered)
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if n == 1:
+            out.append(float(ordered[0]))
+            continue
+        rank = (n - 1) * (q / 100.0)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            out.append(float(ordered[lo]))
+        else:
+            frac = rank - lo
+            out.append(float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac))
+    return out
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``(value, F(value))`` pairs, one per distinct value.
+
+    ``F(v)`` is the fraction of samples ``<= v``; the last point always
+    has ``F = 1.0``.  This is the exact series the paper's CDF figures
+    (Figs 3, 4, 6, 7, 8, 11, 12, 13) plot.
+    """
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for i, v in enumerate(ordered):
+        if i + 1 < n and ordered[i + 1] == v:
+            continue  # collapse ties onto the last occurrence
+        points.append((float(v), (i + 1) / n))
+    return points
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Empirical CDF evaluated at ``x``: fraction of samples <= x."""
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    return sum(1 for v in values if v <= x) / len(values)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Used for the Fig 5 subscriptions-vs-views relationship and the
+    favorites-vs-views observation under Fig 8.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    mx = mean(xs)
+    my = mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        raise ValueError("zero variance sample")
+    return cov / math.sqrt(vx * vy)
+
+
+def log_log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log(y)`` on ``log(x)``.
+
+    A Zipf(s) rank-views profile has slope ``-s`` in log-log space;
+    tests use this to verify Fig 9's within-channel Zipf exponent.
+    Points with non-positive coordinates are skipped.
+    """
+    pts = [(math.log(x), math.log(y)) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pts) < 2:
+        raise ValueError("need at least two positive points")
+    mx = mean([p[0] for p in pts])
+    my = mean([p[1] for p in pts])
+    num = sum((x - mx) * (y - my) for x, y in pts)
+    den = sum((x - mx) ** 2 for x, _ in pts)
+    if den == 0:
+        raise ValueError("degenerate x values")
+    return num / den
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient in [0, 1]; 0 = perfectly even, ->1 = concentrated.
+
+    A compact scalar for "popularity varies greatly" claims (O2/O3):
+    heavy-tailed view distributions have Gini well above 0.5.
+    """
+    if not values:
+        raise ValueError("gini of empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("gini requires non-negative values")
+    ordered = sorted(values)
+    n = len(ordered)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    weighted = sum((i + 1) * v for i, v in enumerate(ordered))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n

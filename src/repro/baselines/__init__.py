@@ -1,0 +1,27 @@
+"""Baseline P2P VoD systems the paper compares against.
+
+* :mod:`repro.baselines.protocol` -- the protocol interface shared with
+  SocialTube, plus common per-peer state (cache, prefetch store).
+* :mod:`repro.baselines.nettube` -- NetTube [Cheng & Liu, INFOCOM'09]:
+  per-video overlays, two-hop neighbor search, random prefetching from
+  neighbors' watched videos.
+* :mod:`repro.baselines.pavod` -- PA-VoD [Huang, Li & Ross,
+  SIGCOMM'07]: server-directed peer assistance from concurrent
+  watchers, no persistent cache.
+* :mod:`repro.baselines.gridcast` -- GridCast-style [26] tracker-
+  directed assistance with multi-video caching but no overlay; isolates
+  the caching contribution from the overlay-search contribution.
+"""
+
+from repro.baselines.protocol import PeerState, VodProtocol
+from repro.baselines.gridcast import GridCastProtocol
+from repro.baselines.nettube import NetTubeProtocol
+from repro.baselines.pavod import PaVodProtocol
+
+__all__ = [
+    "PeerState",
+    "VodProtocol",
+    "GridCastProtocol",
+    "NetTubeProtocol",
+    "PaVodProtocol",
+]

@@ -1,0 +1,239 @@
+"""NetTube baseline [Cheng & Liu, INFOCOM 2009] as described in the paper.
+
+Per-video overlays: the viewers of one video form one overlay; a node
+that has watched multiple videos stays in multiple overlays ("A node
+that has watched multiple videos must stay in multiple overlays and
+maintain its links in each of the overlays").  Search: "To find a next
+video to watch, the node sends a query to its neighbors within two
+hops; if the video is not found, the user resorts to the server."
+Prefetching: "a node randomly chooses the videos its neighbors have
+watched to prefetch."
+
+The maintenance-overhead pathology the paper measures (Fig 18) falls
+out naturally: each watched video adds up to ``links_per_overlay``
+links, and within a session the link count grows roughly linearly with
+videos watched, while SocialTube's stays near ``N_l + N_h``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from random import Random
+from typing import Dict, List, Set
+
+from repro.baselines.protocol import VodProtocol
+from repro.net.message import ChunkSource, LookupResult
+from repro.net.server import CentralServer
+from repro.overlay.flood import ttl_flood
+from repro.overlay.links import LinkTable
+from repro.trace.dataset import TraceDataset
+
+
+class NetTubeProtocol(VodProtocol):
+    """Per-video overlay P2P video sharing."""
+
+    name = "NetTube"
+    uses_cache = True
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        server: CentralServer,
+        rng: Random,
+        links_per_overlay: int = 5,
+        search_hops: int = 2,
+        prefetch_window: int = 3,
+        enable_prefetch: bool = True,
+    ):
+        super().__init__(dataset, server, rng)
+        if links_per_overlay < 1:
+            raise ValueError("links_per_overlay must be >= 1")
+        self.links_per_overlay = links_per_overlay
+        self.search_hops = search_hops
+        self.prefetch_window = prefetch_window
+        self.enable_prefetch = enable_prefetch
+        #: One link table per video overlay, created on demand.
+        self._overlays: Dict[int, LinkTable] = {}
+        #: The overlays each node currently belongs to.
+        self._memberships: Dict[int, Set[int]] = defaultdict(set)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _overlay(self, video_id: int) -> LinkTable:
+        table = self._overlays.get(video_id)
+        if table is None:
+            table = LinkTable(self.links_per_overlay)
+            self._overlays[video_id] = table
+        return table
+
+    def _is_alive(self, node_id: int) -> bool:
+        peer = self.peers.get(node_id)
+        return peer is not None and peer.online
+
+    def _union_neighbors(self, node_id: int) -> List[int]:
+        """All neighbors across every overlay the node belongs to.
+
+        Redundant links to the same peer in different overlays collapse
+        to one entry for forwarding purposes, but each still *counts*
+        in :meth:`link_count` -- that redundancy is exactly the overhead
+        the paper criticises ("two nodes may need to maintain redundant
+        links for different per-video overlays though one link is
+        sufficient").
+        """
+        seen: Dict[int, None] = {}
+        for video_id in self._memberships.get(node_id, ()):
+            for neighbor in self._overlay(video_id).neighbors(node_id):
+                if self._is_alive(neighbor):
+                    seen[neighbor] = None
+        return list(seen)
+
+    def _join_overlay(self, user_id: int, video_id: int, via: int = None) -> None:
+        """Join a video's overlay: link to the provider plus tracker picks."""
+        table = self._overlay(video_id)
+        self._memberships[user_id].add(video_id)
+        self.server.register_video_overlay_member(video_id, user_id)
+        if via is not None and via != user_id and self._is_alive(via):
+            table.connect(user_id, via, evict=True)
+        needed = self.links_per_overlay - table.degree(user_id)
+        if needed <= 0:
+            return
+        picks = self.server.random_video_overlay_members(
+            video_id, needed + 2, exclude=user_id
+        )
+        for pick in picks:
+            if table.degree(user_id) >= self.links_per_overlay:
+                break
+            if self._is_alive(pick):
+                table.connect(user_id, pick, evict=True)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def on_session_start(self, user_id: int) -> None:
+        peer = self.state(user_id)
+        peer.online = True
+        self.server.node_online(user_id)
+        # A NetTube node starts its session outside all overlays and
+        # accumulates memberships as it watches (Fig 18: "start out
+        # with few links but rapidly accumulate more").
+
+    def on_session_end(self, user_id: int) -> None:
+        peer = self.state(user_id)
+        for video_id in list(self._memberships.get(user_id, ())):
+            self._overlay(video_id).drop_all(user_id)
+            self.server.unregister_video_overlay_member(video_id, user_id)
+        self._memberships.pop(user_id, None)
+        peer.online = False
+        self.server.node_offline(user_id)
+
+    # -- search ---------------------------------------------------------------------
+
+    def locate(self, user_id: int, video_id: int) -> LookupResult:
+        peer = self.state(user_id)
+        if peer.has_video(video_id):
+            return LookupResult(video_id=video_id, from_cache=True)
+
+        # A node's *first* request after login goes to the server, which
+        # directs it to providers in the video's overlay ("When a node
+        # requests a video for the first time, it sends its request to
+        # the server, which directs it to connect to the providers in
+        # the overlay of the video").
+        if not self._memberships.get(user_id):
+            members = self.server.random_video_overlay_members(
+                video_id, 2, exclude=user_id
+            )
+            for member in members:
+                if self.is_online_holder(member, video_id):
+                    return LookupResult(
+                        video_id=video_id,
+                        provider_id=member,
+                        hops=1,
+                        peers_contacted=len(members),
+                    )
+            return LookupResult(video_id=video_id, from_server=True, hops=0)
+
+        # Subsequent requests: two-hop query across the union of the
+        # node's overlay links; on a miss "the user resorts to the
+        # server", which serves the video itself.
+        result = ttl_flood(
+            requester=user_id,
+            start_neighbors=self._union_neighbors(user_id),
+            neighbors_of=self._union_neighbors,
+            is_holder=lambda n: self.is_online_holder(n, video_id),
+            ttl=self.search_hops,
+        )
+        if result.success:
+            return LookupResult(
+                video_id=video_id,
+                provider_id=result.found,
+                hops=result.hops,
+                peers_contacted=result.contacted,
+                query_path=result.path,
+            )
+        return LookupResult(
+            video_id=video_id,
+            from_server=True,
+            hops=self.search_hops,
+            peers_contacted=result.contacted,
+        )
+
+    def on_watch_started(self, user_id: int, video_id: int) -> None:
+        super().on_watch_started(user_id, video_id)
+        # Watching a video makes the node a member of its overlay; it
+        # remains there (providing the video) until it logs off.
+        self._join_overlay(user_id, video_id)
+
+    def on_maintenance(self, user_id: int) -> None:
+        """Probe-cycle repair: prune dead links and refill each overlay."""
+        if not self.state(user_id).online:
+            return
+        for video_id in self._memberships.get(user_id, ()):
+            table = self._overlay(video_id)
+            for neighbor in table.neighbors(user_id):
+                if not self._is_alive(neighbor):
+                    table.disconnect(user_id, neighbor)
+            needed = self.links_per_overlay - table.degree(user_id)
+            if needed <= 0:
+                continue
+            picks = self.server.random_video_overlay_members(
+                video_id, needed + 1, exclude=user_id
+            )
+            for pick in picks:
+                if table.degree(user_id) >= self.links_per_overlay:
+                    break
+                if self._is_alive(pick):
+                    table.connect(user_id, pick, evict=False)
+
+    # -- prefetching -----------------------------------------------------------------
+
+    def select_prefetch(self, user_id: int, video_id: int, count: int) -> List[int]:
+        """Random videos from the neighbors' caches (NetTube's strategy)."""
+        if not self.enable_prefetch:
+            return []
+        peer = self.state(user_id)
+        pool: Set[int] = set()
+        for neighbor in self._union_neighbors(user_id):
+            pool.update(self.peers[neighbor].cache)
+        pool -= set(peer.cache)
+        pool -= set(peer.prefetched.video_ids())
+        pool.discard(video_id)
+        if not pool:
+            return []
+        picks = sorted(pool)
+        self.rng.shuffle(picks)
+        return picks[:count]
+
+    def prefetch_source(self, user_id: int, video_id: int) -> ChunkSource:
+        """Prefetch pulls from the neighbor whose cache offered the video."""
+        for neighbor in self._union_neighbors(user_id):
+            if self.is_online_holder(neighbor, video_id):
+                return ChunkSource.PREFETCH_PEER
+        return ChunkSource.PREFETCH_SERVER
+
+    # -- metrics -------------------------------------------------------------------------
+
+    def link_count(self, user_id: int) -> int:
+        """Sum of per-overlay links (redundant links counted, as deployed)."""
+        return sum(
+            self._overlay(video_id).degree(user_id)
+            for video_id in self._memberships.get(user_id, ())
+        )

@@ -1,0 +1,119 @@
+"""PA-VoD baseline [Huang, Li & Ross, SIGCOMM 2007] as described in the paper.
+
+"In PA-VOD, when a user requests a video, the server directs the
+request to several other users currently watching the video.  When a
+user finishes watching a video, it no longer acts as a provider.  Since
+videos on YouTube tend to be short, many videos do not have peer
+providers so the server must provide the videos instead."
+
+Consequences the evaluation measures: no persistent cache (so low peer
+availability, Fig 16), heavy reliance on the server (so long startup
+delays once the server saturates, Fig 17), but essentially zero overlay
+maintenance (nodes keep no standing links).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List
+
+from repro.baselines.protocol import VodProtocol
+from repro.net.message import LookupResult
+from repro.net.server import CentralServer
+from repro.trace.dataset import TraceDataset
+
+
+class PaVodProtocol(VodProtocol):
+    """Server-directed peer assistance from concurrent watchers."""
+
+    name = "PA-VoD"
+    uses_cache = False
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        server: CentralServer,
+        rng: Random,
+        watchers_per_referral: int = 3,
+        download_speedup: float = 2.0,
+    ):
+        super().__init__(dataset, server, rng)
+        if watchers_per_referral < 1:
+            raise ValueError("watchers_per_referral must be >= 1")
+        if download_speedup <= 0:
+            raise ValueError("download_speedup must be positive")
+        self.watchers_per_referral = watchers_per_referral
+        #: Download rate relative to the bitrate ("download bandwidths
+        #: of at least twice that bitrate", Section IV-B); a watcher
+        #: holds the full video only after length / speedup seconds.
+        self.download_speedup = download_speedup
+        self._watch_started_at: dict = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_session_start(self, user_id: int) -> None:
+        peer = self.state(user_id)
+        peer.online = True
+        self.server.node_online(user_id)
+
+    def on_session_end(self, user_id: int) -> None:
+        peer = self.state(user_id)
+        if peer.current_video is not None:
+            self.server.watch_finished(peer.current_video, user_id)
+        peer.online = False
+        self.server.node_offline(user_id)
+
+    # -- search ------------------------------------------------------------------
+
+    def _has_full_copy(self, watcher_id: int, video_id: int) -> bool:
+        """A watcher can serve only once its own download finished.
+
+        Download proceeds at ``download_speedup`` x bitrate, so the full
+        video is present after ``length / speedup`` seconds of watching.
+        """
+        started = self._watch_started_at.get((watcher_id, video_id))
+        if started is None:
+            return False
+        needed = self.dataset.video_length(video_id) / self.download_speedup
+        return self.now_fn() - started >= needed
+
+    def locate(self, user_id: int, video_id: int) -> LookupResult:
+        """Ask the server for current watchers; else the server serves."""
+        watchers = self.server.current_watchers(video_id, exclude=user_id)
+        if watchers:
+            candidates = (
+                self.rng.sample(watchers, self.watchers_per_referral)
+                if len(watchers) > self.watchers_per_referral
+                else list(watchers)
+            )
+            for candidate in candidates:
+                peer = self.peers.get(candidate)
+                if (
+                    peer is not None
+                    and peer.online
+                    and self._has_full_copy(candidate, video_id)
+                ):
+                    return LookupResult(
+                        video_id=video_id,
+                        provider_id=candidate,
+                        hops=1,
+                        peers_contacted=len(candidates),
+                    )
+        return LookupResult(video_id=video_id, from_server=True, hops=0)
+
+    def on_watch_started(self, user_id: int, video_id: int) -> None:
+        super().on_watch_started(user_id, video_id)
+        self.server.watch_started(video_id, user_id)
+        self._watch_started_at[(user_id, video_id)] = self.now_fn()
+
+    def on_watch_finished(self, user_id: int, video_id: int) -> None:
+        """The node stops providing the moment playback ends."""
+        super().on_watch_finished(user_id, video_id)
+        self.server.watch_finished(video_id, user_id)
+        self._watch_started_at.pop((user_id, video_id), None)
+
+    # -- metrics -------------------------------------------------------------------
+
+    def link_count(self, user_id: int) -> int:
+        """PA-VoD peers keep no standing overlay links."""
+        return 0

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``trace``      synthesize a trace and print the Section III analysis
+``compare``    run the three protocols and print the comparison
+``figures``    regenerate the Section V figures (15-18 + Table I)
+``planetlab``  run the emulated PlanetLab testbed comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.clustering import build_channel_graph
+from repro.analysis.figures import TraceAnalysis
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import EvaluationSuite
+from repro.experiments.report import render_report, render_shape_checks, shape_checks
+from repro.experiments.runner import run_experiment
+from repro.planetlab.testbed import PlanetLabTestbed
+from repro.trace.synthesizer import TraceConfig, synthesize_trace
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = TraceConfig(seed=args.seed)
+    dataset = synthesize_trace(config)
+    print(dataset.summary())
+    analysis = TraceAnalysis(dataset)
+    for figure in analysis.all_figures():
+        print("\n".join(figure.render_rows(max_rows=8)))
+    graph = build_channel_graph(dataset, threshold=args.threshold, per_category=5)
+    print(
+        f"Fig 10: channel graph -- {graph.num_nodes} nodes, {graph.num_edges} edges, "
+        f"intra-category edge fraction {graph.intra_category_edge_fraction():.3f}"
+    )
+    print("Observations:", analysis.check_observations())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = (
+        SimulationConfig.smoke_scale(seed=args.seed)
+        if args.quick
+        else SimulationConfig.default_scale(seed=args.seed)
+    )
+    for name in ("pavod", "nettube", "socialtube"):
+        result = run_experiment(name, config=config)
+        print("\n".join(result.render_rows()))
+        print()
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    suite = EvaluationSuite(
+        config=(
+            SimulationConfig.smoke_scale(seed=args.seed)
+            if args.quick
+            else SimulationConfig.default_scale(seed=args.seed)
+        )
+    )
+    environments = ("peersim",) if args.quick else ("peersim", "planetlab")
+    print(render_report(suite.all_figures(environments=environments)))
+    print(render_shape_checks(shape_checks(suite)))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_all
+
+    dataset = synthesize_trace(TraceConfig(seed=args.seed))
+    analysis = TraceAnalysis(dataset)
+    suite = EvaluationSuite(
+        config=(
+            SimulationConfig.smoke_scale(seed=args.seed)
+            if args.quick
+            else SimulationConfig.default_scale(seed=args.seed)
+        )
+    )
+    environments = ("peersim",) if args.quick else ("peersim", "planetlab")
+    written = export_all(
+        analysis.all_figures(),
+        suite.all_figures(environments=environments),
+        args.outdir,
+    )
+    for path in written:
+        print(path)
+    print(f"wrote {len(written)} artifacts to {args.outdir}")
+    return 0
+
+
+def _cmd_planetlab(args: argparse.Namespace) -> int:
+    testbed = PlanetLabTestbed()
+    for name in ("pavod", "nettube", "socialtube"):
+        result = testbed.run(name)
+        print("\n".join(result.render_rows()))
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SocialTube (ICDCS 2014) reproduction harness",
+    )
+    parser.add_argument("--seed", type=int, default=2014, help="master RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="trace synthesis + Section III analysis")
+    p_trace.add_argument("--threshold", type=int, default=20)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_compare = sub.add_parser("compare", help="three-protocol comparison")
+    p_compare.add_argument("--quick", action="store_true", help="tiny scale")
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_figures = sub.add_parser("figures", help="regenerate Section V figures")
+    p_figures.add_argument("--quick", action="store_true", help="tiny scale")
+    p_figures.set_defaults(func=_cmd_figures)
+
+    p_pl = sub.add_parser("planetlab", help="emulated PlanetLab comparison")
+    p_pl.set_defaults(func=_cmd_planetlab)
+
+    p_export = sub.add_parser("export", help="export all figures as CSV/JSON")
+    p_export.add_argument("--outdir", default="figures_out")
+    p_export.add_argument("--quick", action="store_true", help="tiny scale")
+    p_export.set_defaults(func=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

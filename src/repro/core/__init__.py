@@ -1,0 +1,44 @@
+"""SocialTube: the paper's primary contribution.
+
+* :mod:`repro.core.cache` -- the session video cache and the bounded
+  prefetch store.
+* :mod:`repro.core.structure` -- the interest-based per-community
+  two-level overlay (channel overlays + category clusters).
+* :mod:`repro.core.prefetch` -- channel-facilitated popularity-based
+  prefetching.
+* :mod:`repro.core.socialtube` -- the protocol node logic
+  (join/leave/search of Algorithm 1) tying the pieces together.
+* :mod:`repro.core.model` -- the paper's analytical models: Fig 15
+  maintenance overhead and the Zipf prefetch-accuracy formula.
+"""
+
+from repro.core.cache import PrefetchStore, VideoCache
+from repro.core.prefetch import ChannelPrefetcher
+from repro.core.structure import HierarchicalStructure
+from repro.core.model import (
+    nettube_maintenance_overhead,
+    prefetch_accuracy,
+    socialtube_maintenance_overhead,
+)
+
+
+def __getattr__(name):
+    # SocialTubeProtocol is exported lazily (PEP 562): it depends on the
+    # shared VodProtocol interface in repro.baselines.protocol, which in
+    # turn uses repro.core.cache -- an eager import here would cycle.
+    if name == "SocialTubeProtocol":
+        from repro.core.socialtube import SocialTubeProtocol
+
+        return SocialTubeProtocol
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "PrefetchStore",
+    "VideoCache",
+    "ChannelPrefetcher",
+    "SocialTubeProtocol",
+    "HierarchicalStructure",
+    "nettube_maintenance_overhead",
+    "prefetch_accuracy",
+    "socialtube_maintenance_overhead",
+]

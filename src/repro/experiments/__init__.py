@@ -1,0 +1,27 @@
+"""Evaluation harness: Section V experiments.
+
+* :mod:`repro.experiments.config` -- Table I defaults, environments
+  (PeerSim-style simulator vs PlanetLab-style WAN), scaling helpers.
+* :mod:`repro.experiments.runner` -- drives one (protocol,
+  environment) experiment end to end.
+* :mod:`repro.experiments.figures` -- regenerates the evaluation
+  figures (Figs 15-18) and Table I.
+* :mod:`repro.experiments.report` -- renders paper-style text tables.
+"""
+
+from repro.experiments.config import (
+    Environment,
+    SimulationConfig,
+    planetlab_environment,
+    simulator_environment,
+)
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+
+__all__ = [
+    "Environment",
+    "SimulationConfig",
+    "planetlab_environment",
+    "simulator_environment",
+    "ExperimentResult",
+    "ExperimentRunner",
+]

@@ -1,0 +1,106 @@
+"""Figure exporters: CSV / JSON artifacts for downstream plotting.
+
+The harness prints paper-style text rows; anyone regenerating the
+paper's plots wants machine-readable series.  This module writes
+
+* each Section III :class:`repro.analysis.figures.FigureSeries` to one
+  CSV per series plus a JSON bundle, and
+* each evaluation :class:`repro.experiments.figures.EvaluationFigure`
+  to a CSV with one row per labelled system.
+
+File names are derived from the figure id (``fig9_high.csv``,
+``fig16a.csv``...), so a full export is a self-describing directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import re
+from typing import Iterable, List
+
+from repro.analysis.figures import FigureSeries
+from repro.experiments.figures import EvaluationFigure
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe lowercase identifier ("Fig 16a" -> "fig16a")."""
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+
+
+def export_figure_series(figure: FigureSeries, outdir: str) -> List[str]:
+    """Write one trace-analysis figure; returns the paths written."""
+    os.makedirs(outdir, exist_ok=True)
+    written: List[str] = []
+    base = _slug(figure.figure)
+    for name, points in figure.series.items():
+        path = os.path.join(outdir, f"{base}_{_slug(name)}.csv")
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["x", "y"])
+            writer.writerows(points)
+        written.append(path)
+    meta_path = os.path.join(outdir, f"{base}.json")
+    with open(meta_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "figure": figure.figure,
+                "title": figure.title,
+                "series": sorted(figure.series),
+                "notes": figure.notes,
+            },
+            fh,
+            indent=2,
+        )
+    written.append(meta_path)
+    return written
+
+
+def export_evaluation_figure(figure: EvaluationFigure, outdir: str) -> List[str]:
+    """Write one evaluation figure; returns the paths written."""
+    os.makedirs(outdir, exist_ok=True)
+    base = _slug(figure.figure)
+    path = os.path.join(outdir, f"{base}.csv")
+    columns: List[str] = []
+    for row in figure.rows:
+        for key in row.values:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["label"] + columns)
+        for row in figure.rows:
+            writer.writerow(
+                [row.label] + [row.values.get(column, "") for column in columns]
+            )
+    meta_path = os.path.join(outdir, f"{base}.json")
+    with open(meta_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "figure": figure.figure,
+                "title": figure.title,
+                "rows": [
+                    {"label": row.label, "values": row.values}
+                    for row in figure.rows
+                ],
+                "notes": figure.notes,
+            },
+            fh,
+            indent=2,
+        )
+    return [path, meta_path]
+
+
+def export_all(
+    trace_figures: Iterable[FigureSeries],
+    evaluation_figures: Iterable[EvaluationFigure],
+    outdir: str,
+) -> List[str]:
+    """Export a complete reproduction bundle; returns all paths written."""
+    written: List[str] = []
+    for figure in trace_figures:
+        written.extend(export_figure_series(figure, outdir))
+    for figure in evaluation_figures:
+        written.extend(export_evaluation_figure(figure, outdir))
+    return written

@@ -1,0 +1,87 @@
+"""Paper-style text rendering of evaluation results.
+
+Keeps the harness output greppable and diffable: every figure renders
+to plain rows, and :func:`shape_checks` states the paper's qualitative
+claims next to the measured verdicts (the reproduction contract is the
+*shape* -- who wins and by roughly what factor -- not absolute values).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.figures import EvaluationFigure, EvaluationSuite
+
+
+def render_report(figures: List[EvaluationFigure]) -> str:
+    """All figures as one text block."""
+    lines: List[str] = []
+    for figure in figures:
+        lines.extend(figure.render_rows())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def shape_checks(suite: EvaluationSuite, environment: str = "peersim") -> Dict[str, bool]:
+    """The paper's qualitative claims, evaluated on a suite's runs.
+
+    Returns a name -> verdict map; every entry should be True for a
+    successful reproduction.
+    """
+    st = suite.result("SocialTube w/ PF", environment).metrics
+    st_nopf = suite.result("SocialTube w/o PF", environment).metrics
+    nt = suite.result("NetTube w/ PF", environment).metrics
+    nt_nopf = suite.result("NetTube w/o PF", environment).metrics
+    pa = suite.result("PA-VoD", environment).metrics
+
+    checks: Dict[str, bool] = {}
+    # Fig 16: SocialTube > NetTube > PA-VoD at the median.
+    checks["fig16_socialtube_beats_nettube"] = (
+        st.peer_bandwidth_p50 > nt.peer_bandwidth_p50
+    )
+    checks["fig16_nettube_beats_pavod"] = (
+        nt.peer_bandwidth_p50 > pa.peer_bandwidth_p50
+    )
+    # Fig 17: PA-VoD worst; SocialTube < NetTube with and without PF;
+    # prefetching helps each system.
+    checks["fig17_pavod_worst"] = pa.startup_delay_ms_mean > max(
+        st.startup_delay_ms_mean,
+        nt.startup_delay_ms_mean,
+        st_nopf.startup_delay_ms_mean,
+        nt_nopf.startup_delay_ms_mean,
+    )
+    checks["fig17_socialtube_beats_nettube_with_pf"] = (
+        st.startup_delay_ms_mean < nt.startup_delay_ms_mean
+    )
+    checks["fig17_socialtube_beats_nettube_without_pf"] = (
+        st_nopf.startup_delay_ms_mean < nt_nopf.startup_delay_ms_mean
+    )
+    checks["fig17_prefetch_helps_socialtube"] = (
+        st.startup_delay_ms_mean < st_nopf.startup_delay_ms_mean
+    )
+    checks["fig17_prefetch_helps_nettube"] = (
+        nt.startup_delay_ms_mean < nt_nopf.startup_delay_ms_mean
+    )
+    # SocialTube's channel-based prefetch is more accurate than
+    # NetTube's random one (the mechanism behind its larger gain).
+    checks["prefetch_socialtube_more_accurate"] = (
+        st.prefetch_hit_fraction > nt.prefetch_hit_fraction
+    )
+    # Fig 18: NetTube grows with videos watched; SocialTube ~flat.
+    st_series = st.overhead_series()
+    nt_series = nt.overhead_series()
+    if len(st_series) >= 2 and len(nt_series) >= 2:
+        st_first, st_last = st_series[0][1], st_series[-1][1]
+        nt_first, nt_last = nt_series[0][1], nt_series[-1][1]
+        checks["fig18_nettube_grows"] = nt_last > 1.8 * max(nt_first, 1.0)
+        checks["fig18_socialtube_flat"] = st_last < 1.4 * max(st_first, 1.0)
+        checks["fig18_nettube_ends_higher"] = nt_last > st_last
+    return checks
+
+
+def render_shape_checks(checks: Dict[str, bool]) -> str:
+    lines = ["Qualitative shape checks (paper's claims):"]
+    for name, verdict in checks.items():
+        status = "PASS" if verdict else "FAIL"
+        lines.append(f"  [{status}] {name}")
+    return "\n".join(lines)

@@ -1,0 +1,379 @@
+"""Drives one (protocol, environment) experiment end to end.
+
+The runner wires together every substrate: the synthesized trace, the
+event engine, the latency/bandwidth models, the central server, one
+protocol stack, the 75/15/10 workload, churned sessions, and the
+metrics collectors.  The per-user lifecycle is::
+
+    join (staggered) -> session: [select video -> locate -> startup ->
+    watch -> prefetch -> sample overhead] x videos_per_session ->
+    graceful leave -> Poisson off time -> next session -> ...
+
+Delay model (documented in DESIGN.md section 5):
+
+* peer provider found by flooding: one one-way latency per hop along
+  the actual query path, plus the provider's one-way response, plus the
+  startup-buffer transfer at the provider's granted upload share;
+* tracker referral: a server round trip plus the provider round trip;
+* server fallback: the failed flood phases (2 x TTL one-way samples
+  each), a server round trip, and the buffer transfer at the server's
+  granted share -- which is where saturation turns into seconds;
+* prefetched first chunk or cached video: playback starts locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.gridcast import GridCastProtocol
+from repro.baselines.nettube import NetTubeProtocol
+from repro.baselines.pavod import PaVodProtocol
+from repro.baselines.protocol import PeerState, VodProtocol
+from repro.core.socialtube import SocialTubeProtocol
+from repro.experiments.config import Environment, SimulationConfig, simulator_environment
+from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
+from repro.net.latency import SERVER_NODE_ID
+from repro.net.message import ChunkSource, LookupResult
+from repro.net.streaming import simulate_playback
+from repro.net.server import CentralServer
+from repro.sim.churn import ChurnModel, SessionPlan
+from repro.sim.engine import EventScheduler
+from repro.sim.rng import RngStreams
+from repro.trace.dataset import TraceDataset
+from repro.trace.synthesizer import TraceSynthesizer
+from repro.workload.selection import VideoSelector
+from repro.workload.session import SessionTracker
+
+#: Registry of runnable protocol stacks.
+PROTOCOL_FACTORIES = {
+    "socialtube": SocialTubeProtocol,
+    "nettube": NetTubeProtocol,
+    "pavod": PaVodProtocol,
+    "gridcast": GridCastProtocol,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a bench needs from one run."""
+
+    metrics: ExperimentMetrics
+    server_requests: int
+    tracker_lookups: int
+    events_processed: int
+    sim_duration_s: float
+    prefetch_hit_rate: float
+
+    def render_rows(self):
+        rows = list(self.metrics.render_rows())
+        rows.append(
+            f"  server: {self.server_requests} direct serves, "
+            f"{self.tracker_lookups} tracker lookups; "
+            f"{self.events_processed} events over {self.sim_duration_s/3600.0:.1f} sim hours"
+        )
+        return rows
+
+
+class ExperimentRunner:
+    """Builds and runs one experiment."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        environment: Optional[Environment] = None,
+        protocol_name: str = "socialtube",
+        protocol_overrides: Optional[Dict] = None,
+        dataset: Optional[TraceDataset] = None,
+    ):
+        if protocol_name not in PROTOCOL_FACTORIES:
+            raise ValueError(
+                f"unknown protocol {protocol_name!r}; "
+                f"choose from {sorted(PROTOCOL_FACTORIES)}"
+            )
+        self.config = config
+        self.environment = environment or simulator_environment()
+        self.protocol_name = protocol_name
+        self.protocol_overrides = dict(protocol_overrides or {})
+
+        streams = RngStreams(config.seed)
+        self._rng_workload = streams.stream("workload")
+        self._rng_churn = streams.stream("churn")
+        self._rng_latency = streams.stream("latency")
+        self._rng_protocol = streams.stream("protocol")
+        self._rng_capacity = streams.stream("peer-capacity")
+        self._rng_failures = streams.stream("failures")
+
+        self.dataset = dataset or TraceSynthesizer(config.trace).synthesize()
+        if config.num_nodes > self.dataset.num_users:
+            raise ValueError("config.num_nodes exceeds dataset population")
+
+        self.scheduler = EventScheduler()
+        self.latency = self.environment.latency_factory(self._rng_latency)
+        self.server = CentralServer(
+            self.dataset,
+            capacity_bps=config.effective_server_bandwidth_bps,
+            rng=streams.stream("server"),
+        )
+        self.protocol = self._build_protocol()
+        self.protocol.now_fn = lambda: self.scheduler.now
+        self.selector = VideoSelector(self.dataset, self._rng_workload)
+        self.sessions = SessionTracker(
+            config.sessions_per_user, config.videos_per_session
+        )
+        self.churn = ChurnModel(
+            SessionPlan(
+                sessions_per_user=config.sessions_per_user,
+                videos_per_session=config.videos_per_session,
+                mean_off_time=config.mean_off_time_s,
+            ),
+            self._rng_churn,
+        )
+        self.metrics = MetricsCollector(
+            protocol=self.protocol.name, environment=self.environment.name
+        )
+        self._node_ids = list(range(config.num_nodes))
+        for node_id in self._node_ids:
+            self.protocol.register_peer(
+                PeerState(
+                    user_id=node_id,
+                    upload_capacity_bps=self._rng_capacity.uniform(
+                        config.peer_upload_min_bps, config.peer_upload_max_bps
+                    ),
+                    prefetch_capacity=config.prefetch_store_capacity,
+                )
+            )
+
+    def _build_protocol(self) -> VodProtocol:
+        cfg = self.config
+        overrides = self.protocol_overrides
+        if self.protocol_name == "socialtube":
+            kwargs = dict(
+                inner_link_limit=cfg.inner_links,
+                inter_link_limit=cfg.inter_links,
+                ttl=cfg.ttl,
+                prefetch_window=cfg.prefetch_window,
+                enable_prefetch=cfg.enable_prefetch,
+            )
+        elif self.protocol_name == "nettube":
+            kwargs = dict(
+                links_per_overlay=cfg.nettube_links_per_overlay,
+                search_hops=cfg.nettube_search_hops,
+                prefetch_window=cfg.prefetch_window,
+                enable_prefetch=cfg.enable_prefetch,
+            )
+        else:  # pavod / gridcast
+            kwargs = {}
+        kwargs.update(overrides)
+        factory = PROTOCOL_FACTORIES[self.protocol_name]
+        return factory(self.dataset, self.server, self._rng_protocol, **kwargs)
+
+    # -- delay model ----------------------------------------------------------
+
+    def _path_delay(self, path) -> float:
+        """One-way forwarding along the query path + provider response."""
+        total = 0.0
+        for src, dst in zip(path, path[1:]):
+            total += self.latency.sample(src, dst)
+        if path:
+            total += self.latency.sample(path[-1], path[0])
+        return total
+
+    def _failed_flood_delay(self, requester: int, hops: int) -> float:
+        """Cost of exhausting a flood before falling back (per DESIGN.md:
+        per-hop latency approximated by requester<->server samples)."""
+        total = 0.0
+        for _ in range(max(1, hops)):
+            total += 2.0 * self.latency.sample(requester, SERVER_NODE_ID)
+        return total
+
+    def _server_rtt(self, requester: int) -> float:
+        return (
+            self.latency.rtt(requester, SERVER_NODE_ID)
+            + self.environment.server_processing_delay
+        )
+
+    # -- request handling ---------------------------------------------------------
+
+    def _serve_request(self, user_id: int, video_id: int):
+        """Resolve one video request; returns (startup_delay_s, grant,
+        lookup, prefetch_hit, stall_s)."""
+        cfg = self.config
+        peer = self.protocol.state(user_id)
+        lookup = self.protocol.locate(user_id, video_id)
+
+        if lookup.from_cache:
+            self.metrics.record_chunks(user_id, ChunkSource.CACHE, cfg.chunks_per_video)
+            self.metrics.record_playback(user_id, 1.0, 0.0)
+            return cfg.local_playback_delay_s, None, lookup, False, 0.0
+
+        # Transient WAN failure: the chosen peer connection breaks and
+        # the request falls back to the server.
+        if (
+            lookup.from_peer
+            and self.environment.peer_failure_prob > 0
+            and self._rng_failures.random() < self.environment.peer_failure_prob
+        ):
+            self.metrics.record_peer_transfer_failure()
+            lookup = LookupResult(
+                video_id=video_id,
+                from_server=True,
+                hops=lookup.hops,
+                peers_contacted=lookup.peers_contacted,
+            )
+
+        prefetch_entry = peer.take_prefetch(video_id)
+        video_bits = cfg.video_bits(self.dataset.video_length(video_id))
+        buffer_bits = cfg.startup_buffer_bits()
+
+        if lookup.from_peer:
+            provider = self.protocol.state(lookup.provider_id)
+            grant = provider.uplink.admit(video_bits)
+            if lookup.query_path:
+                query_delay = self._path_delay(lookup.query_path)
+            else:
+                query_delay = self._server_rtt(user_id) + self.latency.rtt(
+                    user_id, lookup.provider_id
+                )
+            chunk_source = ChunkSource.PEER
+        else:
+            grant = self.server.serve(video_bits)
+            query_delay = self._failed_flood_delay(user_id, lookup.hops)
+            query_delay += self._server_rtt(user_id)
+            chunk_source = ChunkSource.SERVER
+
+        prefetch_hit = prefetch_entry is not None
+        if prefetch_hit:
+            # The first chunk is already local; playback starts now and
+            # the provider is fetched in the background.
+            startup = cfg.local_playback_delay_s
+            self.metrics.record_chunks(user_id, prefetch_entry.source, 1)
+            self.metrics.record_chunks(
+                user_id, chunk_source, cfg.chunks_per_video - 1
+            )
+        else:
+            startup = (
+                query_delay
+                + grant.time_for_bits(buffer_bits)
+                + cfg.local_playback_delay_s
+            )
+            self.metrics.record_chunks(user_id, chunk_source, cfg.chunks_per_video)
+
+        # Chunk-level playback: stalls occur when the granted rate falls
+        # below the bitrate (e.g. a saturated server share).
+        playback = simulate_playback(
+            video_length_s=self.dataset.video_length(video_id),
+            bitrate_bps=cfg.video_bitrate_bps,
+            transfer_rate_bps=grant.rate_bps,
+            chunks=cfg.chunks_per_video,
+            startup_buffer_s=cfg.startup_buffer_s,
+            prefetched_first_chunk=prefetch_hit,
+        )
+        self.metrics.record_playback(
+            user_id, playback.continuity_index, playback.total_stall_s
+        )
+        return startup, grant, lookup, prefetch_hit, playback.total_stall_s
+
+    def _do_prefetch(self, user_id: int, video_id: int) -> None:
+        """Prefetch first chunks while watching (Section IV-B)."""
+        if not self.config.enable_prefetch:
+            return
+        peer = self.protocol.state(user_id)
+        candidates = self.protocol.select_prefetch(
+            user_id, video_id, self.config.prefetch_window
+        )
+        for candidate in candidates:
+            source = self.protocol.prefetch_source(user_id, candidate)
+            peer.store_prefetch(candidate, source, self.scheduler.now)
+            # First chunks are ~15 KB (Section V): "the prefetching
+            # cost can be negligible", so no bandwidth is charged.
+
+    # -- user lifecycle ---------------------------------------------------------------
+
+    def _start_session(self, user_id: int) -> None:
+        self.sessions.begin_session(user_id)
+        self.protocol.on_session_start(user_id)
+        self.selector.start_session(user_id)
+        self._request_next_video(user_id)
+
+    def _request_next_video(self, user_id: int) -> None:
+        video_id = self.selector.next_video(user_id)
+        startup, grant, lookup, prefetch_hit, stall_s = self._serve_request(
+            user_id, video_id
+        )
+        self.metrics.record_request(
+            user_id=user_id,
+            startup_delay_s=startup,
+            from_server=lookup.from_server,
+            from_cache=lookup.from_cache,
+            hops=lookup.hops,
+            peers_contacted=lookup.peers_contacted,
+            prefetch_hit=prefetch_hit,
+        )
+        self.protocol.on_watch_started(user_id, video_id)
+        self._do_prefetch(user_id, video_id)
+        watch_time = startup + self.dataset.video_length(video_id) + stall_s
+        self.scheduler.schedule(
+            watch_time, self._finish_video, user_id, video_id, grant
+        )
+
+    def _finish_video(self, user_id: int, video_id: int, grant) -> None:
+        if grant is not None:
+            grant.release()
+        self.protocol.on_watch_finished(user_id, video_id)
+        self.protocol.on_maintenance(user_id)
+        video_index = self.sessions.record_video(user_id)
+        self.metrics.record_overhead(
+            user_id, video_index, self.protocol.link_count(user_id)
+        )
+        if self.sessions.session_finished(user_id):
+            self._end_session(user_id)
+        else:
+            self._request_next_video(user_id)
+
+    def _end_session(self, user_id: int) -> None:
+        self.protocol.on_session_end(user_id)
+        self.sessions.end_session(user_id)
+        if not self.sessions.all_sessions_done(user_id):
+            self.scheduler.schedule(
+                self.churn.off_duration(), self._start_session, user_id
+            )
+
+    # -- run --------------------------------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        """Execute the full experiment; returns the summarised result."""
+        for node_id in self._node_ids:
+            self.scheduler.schedule(
+                self.churn.initial_join_delay(), self._start_session, node_id
+            )
+        self.scheduler.run()
+        return ExperimentResult(
+            metrics=self.metrics.summarize(),
+            server_requests=self.server.requests_served,
+            tracker_lookups=self.server.tracker_lookups,
+            events_processed=self.scheduler.events_processed,
+            sim_duration_s=self.scheduler.now,
+            prefetch_hit_rate=(
+                self.metrics.prefetch_hits
+                / max(1, self.metrics.prefetch_hits + self.metrics.prefetch_misses)
+            ),
+        )
+
+
+def run_experiment(
+    protocol_name: str,
+    config: Optional[SimulationConfig] = None,
+    environment: Optional[Environment] = None,
+    dataset: Optional[TraceDataset] = None,
+    **protocol_overrides,
+) -> ExperimentResult:
+    """One-call convenience used by benches and examples."""
+    runner = ExperimentRunner(
+        config=config or SimulationConfig.default_scale(),
+        environment=environment,
+        protocol_name=protocol_name,
+        protocol_overrides=protocol_overrides,
+        dataset=dataset,
+    )
+    return runner.run()

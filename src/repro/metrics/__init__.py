@@ -1,0 +1,12 @@
+"""Measurement: the three metrics of Section V.
+
+* startup delay,
+* normalized peer bandwidth,
+* overlay maintenance overhead,
+
+plus the search/prefetch counters used by the ablation benches.
+"""
+
+from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
+
+__all__ = ["ExperimentMetrics", "MetricsCollector"]

@@ -1,0 +1,229 @@
+"""Metric collection for experiment runs.
+
+Definitions follow Section V verbatim:
+
+* **Startup delay** -- "the time period a user must wait after (s)he
+  selects a video before the video playback starts, including the time
+  it takes to query peers or the server."
+* **Normalized peer bandwidth** -- "the percent of video chunks
+  provided by peers out of the total video chunks provided."  Computed
+  per node, then summarised at the 1st/50th/99th percentiles as in
+  Fig 16.  Chunks replayed from the local cache consumed nobody's
+  uplink and are excluded.
+* **Maintenance overhead** -- "the number of links a node must maintain
+  in the overlays", sampled after each video against the within-session
+  video index (Fig 18's x-axis).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import mean, percentile
+from repro.net.message import ChunkSource
+
+
+@dataclass
+class ExperimentMetrics:
+    """Summary of one experiment run (one protocol, one environment)."""
+
+    protocol: str
+    environment: str
+    num_requests: int
+    # Startup delay (milliseconds).
+    startup_delay_ms_mean: float
+    startup_delay_ms_p50: float
+    startup_delay_ms_p99: float
+    # Normalized peer bandwidth percentiles across nodes (Fig 16).
+    peer_bandwidth_p1: float
+    peer_bandwidth_p50: float
+    peer_bandwidth_p99: float
+    # Maintenance overhead by within-session video index (Fig 18).
+    overhead_by_video_index: Dict[int, float]
+    # Playback continuity (chunk-level streaming model).
+    mean_continuity_index: float
+    stall_fraction: float
+    mean_stall_ms: float
+    # Supporting counters.
+    server_fallback_fraction: float
+    cache_hit_fraction: float
+    prefetch_hit_fraction: float
+    mean_search_hops: float
+    mean_peers_contacted: float
+
+    def overhead_series(self) -> List[Tuple[int, float]]:
+        """Fig 18 series: (videos watched, mean links maintained)."""
+        return sorted(self.overhead_by_video_index.items())
+
+    def render_rows(self) -> List[str]:
+        """Paper-style text summary."""
+        rows = [
+            f"{self.protocol} on {self.environment} ({self.num_requests} requests)",
+            (
+                "  startup delay ms: "
+                f"mean={self.startup_delay_ms_mean:.1f} "
+                f"p50={self.startup_delay_ms_p50:.1f} "
+                f"p99={self.startup_delay_ms_p99:.1f}"
+            ),
+            (
+                "  normalized peer bandwidth: "
+                f"p1={self.peer_bandwidth_p1:.3f} "
+                f"p50={self.peer_bandwidth_p50:.3f} "
+                f"p99={self.peer_bandwidth_p99:.3f}"
+            ),
+            (
+                "  fractions: "
+                f"server={self.server_fallback_fraction:.3f} "
+                f"cache={self.cache_hit_fraction:.3f} "
+                f"prefetch_hit={self.prefetch_hit_fraction:.3f}"
+            ),
+            (
+                "  search: "
+                f"hops={self.mean_search_hops:.2f} "
+                f"contacted={self.mean_peers_contacted:.2f}"
+            ),
+            (
+                "  playback: "
+                f"continuity={self.mean_continuity_index:.4f} "
+                f"stalled_watches={self.stall_fraction:.3f} "
+                f"mean_stall_ms={self.mean_stall_ms:.1f}"
+            ),
+        ]
+        overhead = ", ".join(
+            f"{idx}:{links:.1f}" for idx, links in self.overhead_series()
+        )
+        rows.append(f"  maintenance overhead by video index: {overhead}")
+        return rows
+
+
+class MetricsCollector:
+    """Accumulates raw observations during a run."""
+
+    def __init__(self, protocol: str, environment: str):
+        self.protocol = protocol
+        self.environment = environment
+        self._startup_delays_ms: List[float] = []
+        self._peer_chunks: Dict[int, int] = defaultdict(int)
+        self._server_chunks: Dict[int, int] = defaultdict(int)
+        self._cache_chunks: Dict[int, int] = defaultdict(int)
+        self._overhead: Dict[int, List[int]] = defaultdict(list)
+        self._hops: List[int] = []
+        self._contacted: List[int] = []
+        self.requests = 0
+        self.server_fallbacks = 0
+        self.cache_hits = 0
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
+        self.peer_transfer_failures = 0
+        self._continuity: List[float] = []
+        self._stall_ms: List[float] = []
+        self.stalled_watches = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_request(
+        self,
+        user_id: int,
+        startup_delay_s: float,
+        from_server: bool,
+        from_cache: bool,
+        hops: int,
+        peers_contacted: int,
+        prefetch_hit: bool,
+    ) -> None:
+        self.requests += 1
+        self._startup_delays_ms.append(startup_delay_s * 1000.0)
+        if from_server:
+            self.server_fallbacks += 1
+        if from_cache:
+            self.cache_hits += 1
+        if prefetch_hit:
+            self.prefetch_hits += 1
+        else:
+            self.prefetch_misses += 1
+        self._hops.append(hops)
+        self._contacted.append(peers_contacted)
+
+    def record_chunks(self, user_id: int, source: ChunkSource, count: int) -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if source is ChunkSource.CACHE:
+            self._cache_chunks[user_id] += count
+        elif source.is_peer:
+            self._peer_chunks[user_id] += count
+        else:
+            self._server_chunks[user_id] += count
+
+    def record_overhead(self, user_id: int, video_index: int, links: int) -> None:
+        self._overhead[video_index].append(links)
+
+    def record_peer_transfer_failure(self) -> None:
+        self.peer_transfer_failures += 1
+
+    def record_playback(
+        self, user_id: int, continuity_index: float, total_stall_s: float
+    ) -> None:
+        """Record the chunk-level playback outcome of one watch."""
+        if not 0.0 <= continuity_index <= 1.0:
+            raise ValueError("continuity index must be in [0, 1]")
+        if total_stall_s < 0:
+            raise ValueError("stall time must be non-negative")
+        self._continuity.append(continuity_index)
+        self._stall_ms.append(total_stall_s * 1000.0)
+        if total_stall_s > 0:
+            self.stalled_watches += 1
+
+    # -- summaries --------------------------------------------------------------
+
+    def node_peer_bandwidth(self) -> List[float]:
+        """Per-node normalized peer bandwidth (the Fig 16 population)."""
+        nodes = set(self._peer_chunks) | set(self._server_chunks)
+        fractions = []
+        for node in nodes:
+            peer = self._peer_chunks[node]
+            server = self._server_chunks[node]
+            total = peer + server
+            if total > 0:
+                fractions.append(peer / total)
+        return fractions
+
+    def summarize(self) -> ExperimentMetrics:
+        if self.requests == 0:
+            raise RuntimeError("no requests recorded")
+        delays = self._startup_delays_ms
+        bandwidth = self.node_peer_bandwidth() or [0.0]
+        overhead = {
+            idx: mean([float(v) for v in values])
+            for idx, values in self._overhead.items()
+        }
+        prefetch_total = self.prefetch_hits + self.prefetch_misses
+        continuity = self._continuity or [1.0]
+        stall_ms = self._stall_ms or [0.0]
+        return ExperimentMetrics(
+            protocol=self.protocol,
+            environment=self.environment,
+            num_requests=self.requests,
+            startup_delay_ms_mean=mean(delays),
+            startup_delay_ms_p50=percentile(delays, 50),
+            startup_delay_ms_p99=percentile(delays, 99),
+            peer_bandwidth_p1=percentile(bandwidth, 1),
+            peer_bandwidth_p50=percentile(bandwidth, 50),
+            peer_bandwidth_p99=percentile(bandwidth, 99),
+            overhead_by_video_index=overhead,
+            mean_continuity_index=mean(continuity),
+            stall_fraction=(
+                self.stalled_watches / len(self._continuity)
+                if self._continuity
+                else 0.0
+            ),
+            mean_stall_ms=mean(stall_ms),
+            server_fallback_fraction=self.server_fallbacks / self.requests,
+            cache_hit_fraction=self.cache_hits / self.requests,
+            prefetch_hit_fraction=(
+                self.prefetch_hits / prefetch_total if prefetch_total else 0.0
+            ),
+            mean_search_hops=mean([float(h) for h in self._hops]),
+            mean_peers_contacted=mean([float(c) for c in self._contacted]),
+        )

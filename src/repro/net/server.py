@@ -1,0 +1,233 @@
+"""The central server.
+
+In every system the paper evaluates, a central server remains in the
+loop with three roles:
+
+1. **Tracker** -- knows which nodes are online, which channel overlays /
+   per-video overlays they belong to, and (for PA-VoD) who is *currently
+   watching* each video.  Joining nodes ask it for bootstrap peers.
+2. **Source of last resort** -- owns every video; when the P2P search
+   fails, the requester downloads from the server's capped upload link.
+3. **Popularity oracle** -- YouTube's site knows per-video view counts;
+   SocialTube's prefetching consumes the server's periodically published
+   per-channel popularity ranking (Section IV-B).
+
+The server is deliberately protocol-agnostic: the three protocols use
+different subsets of the tracker maps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from random import Random
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.net.bandwidth import SharedUploadLink
+
+
+class CentralServer:
+    """Tracker + fallback video source + popularity oracle.
+
+    Parameters
+    ----------
+    catalog:
+        Any object exposing the trace-dataset read interface used here:
+        ``channel_of_video(video_id)``, ``videos_of_channel(channel_id)``,
+        ``category_of_channel(channel_id)``, ``channels_of_category(cat)``
+        and ``video_views(video_id)``.  :class:`repro.trace.TraceDataset`
+        satisfies it.
+    capacity_bps:
+        Total server upload capacity (Table I).
+    rng:
+        Random stream used for bootstrap-peer selection.
+    """
+
+    def __init__(self, catalog, capacity_bps: float, rng: Random):
+        self.catalog = catalog
+        self.uplink = SharedUploadLink(capacity_bps, owner_id=None)
+        self._rng = rng
+        # Tracker state ----------------------------------------------------
+        self._online: Set[int] = set()
+        self._channel_members: Dict[int, Set[int]] = defaultdict(set)
+        self._video_overlay_members: Dict[int, Set[int]] = defaultdict(set)
+        self._current_watchers: Dict[int, Set[int]] = defaultdict(set)
+        # Bookkeeping the paper's comparison cares about --------------------
+        self.requests_served = 0
+        self.tracker_lookups = 0
+        self.subscription_reports = 0
+
+    # -- presence ----------------------------------------------------------
+
+    def node_online(self, node_id: int) -> None:
+        """Mark a node online (start of a session)."""
+        self._online.add(node_id)
+
+    def node_offline(self, node_id: int) -> None:
+        """Mark a node offline and purge it from all tracker maps."""
+        self._online.discard(node_id)
+        for members in self._channel_members.values():
+            members.discard(node_id)
+        for members in self._video_overlay_members.values():
+            members.discard(node_id)
+        for watchers in self._current_watchers.values():
+            watchers.discard(node_id)
+
+    def is_online(self, node_id: int) -> bool:
+        return node_id in self._online
+
+    @property
+    def online_count(self) -> int:
+        return len(self._online)
+
+    # -- channel-overlay tracker (SocialTube) -------------------------------
+
+    def register_channel_member(self, channel_id: int, node_id: int) -> None:
+        """Record that a node joined a channel overlay.
+
+        Per Section IV-A, users report subscription changes so the
+        server can bootstrap newcomers; this is the (cheap) state
+        SocialTube asks the server to keep, versus NetTube's per-video
+        watch reports.
+        """
+        self._channel_members[channel_id].add(node_id)
+        self.subscription_reports += 1
+
+    def unregister_channel_member(self, channel_id: int, node_id: int) -> None:
+        self._channel_members[channel_id].discard(node_id)
+
+    def channel_members(self, channel_id: int) -> Set[int]:
+        """Online members of one channel overlay (read-only view)."""
+        return self._channel_members[channel_id]
+
+    def random_channel_member(
+        self, channel_id: int, exclude: Optional[int] = None
+    ) -> Optional[int]:
+        """A uniformly random online member of the channel overlay."""
+        self.tracker_lookups += 1
+        members = self._channel_members.get(channel_id)
+        if not members:
+            return None
+        candidates = [m for m in members if m != exclude]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    def random_members_per_channel_in_category(
+        self, category_id: int, exclude: Optional[int] = None, limit: Optional[int] = None
+    ) -> List[int]:
+        """Random members drawn across the channels of a category.
+
+        This is the bootstrap the server performs for a joining
+        SocialTube node: "the server also randomly chooses a node in
+        each channel in this channel's higher-level overlay".  The draw
+        round-robins over the category's non-empty channels (one member
+        per channel per round) so that when the category has fewer
+        occupied channels than ``limit``, additional members of the same
+        channels are handed out rather than returning short.
+        """
+        self.tracker_lookups += 1
+        channels = list(self.catalog.channels_of_category(category_id))
+        self._rng.shuffle(channels)
+        pools: List[List[int]] = []
+        for channel_id in channels:
+            members = [
+                m for m in self._channel_members.get(channel_id, ()) if m != exclude
+            ]
+            if members:
+                self._rng.shuffle(members)
+                pools.append(members)
+        picks: List[int] = []
+        round_index = 0
+        while pools:
+            pools = [pool for pool in pools if round_index < len(pool)]
+            for pool in pools:
+                picks.append(pool[round_index])
+                if limit is not None and len(picks) >= limit:
+                    return picks
+            round_index += 1
+        return picks
+
+    def find_holder_in_category(
+        self,
+        category_id: int,
+        is_holder,
+        exclude: Optional[int] = None,
+        scan_limit: int = 200,
+    ) -> Optional[int]:
+        """A category member that holds the requested video, if any.
+
+        Implements the Section IV-A join assist: when a video's channel
+        overlay is empty, "the server randomly chooses a node in each
+        channel overlay (including a node with the video) in the
+        higher-level overlay of the video's interest".  The scan is
+        bounded to keep the server's work per request constant.
+        """
+        self.tracker_lookups += 1
+        scanned = 0
+        channels = list(self.catalog.channels_of_category(category_id))
+        self._rng.shuffle(channels)
+        for channel_id in channels:
+            for member in self._channel_members.get(channel_id, ()):
+                if member == exclude:
+                    continue
+                scanned += 1
+                if is_holder(member):
+                    return member
+                if scanned >= scan_limit:
+                    return None
+        return None
+
+    # -- per-video overlay tracker (NetTube) --------------------------------
+
+    def register_video_overlay_member(self, video_id: int, node_id: int) -> None:
+        self._video_overlay_members[video_id].add(node_id)
+        self.subscription_reports += 1
+
+    def unregister_video_overlay_member(self, video_id: int, node_id: int) -> None:
+        self._video_overlay_members[video_id].discard(node_id)
+
+    def video_overlay_members(self, video_id: int) -> Set[int]:
+        return self._video_overlay_members[video_id]
+
+    def random_video_overlay_members(
+        self, video_id: int, count: int, exclude: Optional[int] = None
+    ) -> List[int]:
+        """Up to ``count`` random members of a per-video overlay."""
+        self.tracker_lookups += 1
+        members = [m for m in self._video_overlay_members.get(video_id, ()) if m != exclude]
+        if len(members) <= count:
+            return members
+        return self._rng.sample(members, count)
+
+    # -- current-watcher tracker (PA-VoD) ------------------------------------
+
+    def watch_started(self, video_id: int, node_id: int) -> None:
+        """PA-VoD: a node begins playback and becomes a potential provider."""
+        self._current_watchers[video_id].add(node_id)
+
+    def watch_finished(self, video_id: int, node_id: int) -> None:
+        """PA-VoD: once playback ends the node stops providing the video."""
+        self._current_watchers[video_id].discard(node_id)
+
+    def current_watchers(self, video_id: int, exclude: Optional[int] = None) -> List[int]:
+        self.tracker_lookups += 1
+        return [w for w in self._current_watchers.get(video_id, ()) if w != exclude]
+
+    # -- popularity oracle ----------------------------------------------------
+
+    def top_videos_of_channel(self, channel_id: int, count: int) -> List[int]:
+        """The ``count`` most-viewed videos of a channel.
+
+        This is the periodically published popularity feed SocialTube's
+        channel-facilitated prefetching ranks on.
+        """
+        videos: Sequence[int] = self.catalog.videos_of_channel(channel_id)
+        ranked = sorted(videos, key=self.catalog.video_views, reverse=True)
+        return list(ranked[:count])
+
+    # -- fallback video source -------------------------------------------------
+
+    def serve(self, bits: float):
+        """Admit one download on the server uplink; returns the grant."""
+        self.requests_served += 1
+        return self.uplink.admit(bits)

@@ -1,0 +1,13 @@
+"""Overlay substrate shared by SocialTube and the baselines.
+
+* :mod:`repro.overlay.links` -- capped, undirected neighbor-set
+  management with the accounting the maintenance-overhead metric reads.
+* :mod:`repro.overlay.flood` -- TTL-scoped flooding search over an
+  overlay graph, the query primitive of Algorithm 1 and of NetTube's
+  two-hop neighbor search.
+"""
+
+from repro.overlay.links import LinkSet, LinkTable
+from repro.overlay.flood import FloodResult, ttl_flood
+
+__all__ = ["LinkSet", "LinkTable", "FloodResult", "ttl_flood"]

@@ -1,0 +1,12 @@
+"""Emulated PlanetLab wide-area testbed.
+
+The paper's second evaluation environment is 250 globally distributed
+PlanetLab nodes.  PlanetLab is retired; we emulate its defining
+characteristics on the same event engine (see DESIGN.md section 2):
+continent-scale latencies with heavy jitter, congestion episodes, and
+transient peer connection failures.
+"""
+
+from repro.planetlab.testbed import PlanetLabTestbed
+
+__all__ = ["PlanetLabTestbed"]

@@ -1,0 +1,13 @@
+"""Viewing-behaviour workload (Section V).
+
+"When a node chooses a video to view, it has a 75% chance of selecting
+a video in the same channel, a 15% chance of selecting a video in the
+same category, and a 10% chance of selecting a video in a different
+category."  Within a channel, picks are view-count weighted (the Fig 9
+Zipf behaviour is what makes prefetching work).
+"""
+
+from repro.workload.selection import SelectionPolicy, VideoSelector
+from repro.workload.session import SessionTracker
+
+__all__ = ["SelectionPolicy", "VideoSelector", "SessionTracker"]

@@ -1,0 +1,60 @@
+"""Property-based tests for the event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventScheduler
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sched = EventScheduler()
+    fired_times = []
+    for delay in delays:
+        sched.schedule(delay, lambda: fired_times.append(sched.now))
+    sched.run()
+    assert fired_times == sorted(fired_times)
+    assert len(fired_times) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+def test_simultaneous_events_fire_fifo(delays):
+    sched = EventScheduler()
+    order = []
+    for index, _delay in enumerate(delays):
+        sched.schedule(1.0, order.append, index)  # all at the same instant
+    sched.run()
+    assert order == list(range(len(delays)))
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=40),
+    data=st.data(),
+)
+def test_cancelled_subset_never_fires(delays, data):
+    sched = EventScheduler()
+    fired = []
+    events = [sched.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(delays) - 1))
+    )
+    for index in to_cancel:
+        events[index].cancel()
+    sched.run()
+    assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40),
+    horizon=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=50)
+def test_run_until_partitions_events_by_horizon(delays, horizon):
+    sched = EventScheduler()
+    fired = []
+    for delay in delays:
+        sched.schedule(delay, fired.append, delay)
+    sched.run_until(horizon)
+    assert all(d <= horizon for d in fired)
+    assert sched.pending_count() == sum(1 for d in delays if d > horizon)
+    assert sched.now >= horizon

@@ -1,0 +1,98 @@
+"""Property-based tests for TTL flooding on random graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.flood import ttl_flood
+
+
+@st.composite
+def random_graph(draw, max_nodes=12):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    adjacency = {i: set() for i in range(n)}
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=3 * n,
+        )
+    )
+    for a, b in edges:
+        if a != b:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    return {k: sorted(v) for k, v in adjacency.items()}
+
+
+def _bfs_distance(adjacency, src, predicate):
+    from collections import deque
+
+    seen = {src}
+    queue = deque([(src, 0)])
+    while queue:
+        node, depth = queue.popleft()
+        if node != src and predicate(node):
+            return depth
+        for neighbor in adjacency[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append((neighbor, depth + 1))
+    return None
+
+
+@given(graph=random_graph(), data=st.data())
+@settings(max_examples=150)
+def test_flood_matches_bfs_reachability(graph, data):
+    nodes = sorted(graph)
+    requester = data.draw(st.sampled_from(nodes))
+    holders = data.draw(st.sets(st.sampled_from(nodes)))
+    ttl = data.draw(st.integers(min_value=1, max_value=5))
+
+    result = ttl_flood(
+        requester,
+        graph[requester],
+        graph.__getitem__,
+        lambda n: n in holders,
+        ttl=ttl,
+    )
+    truth = _bfs_distance(graph, requester, lambda n: n in holders)
+    if truth is not None and truth <= ttl:
+        assert result.success
+        assert result.hops == truth  # BFS-minimal hop count
+    else:
+        assert not result.success
+
+
+@given(graph=random_graph(), data=st.data())
+@settings(max_examples=100)
+def test_flood_path_is_walkable_and_ends_at_holder(graph, data):
+    nodes = sorted(graph)
+    requester = data.draw(st.sampled_from(nodes))
+    holders = data.draw(st.sets(st.sampled_from(nodes), min_size=1))
+    result = ttl_flood(
+        requester,
+        graph[requester],
+        graph.__getitem__,
+        lambda n: n in holders,
+        ttl=4,
+    )
+    if result.success:
+        assert result.path[0] == requester
+        assert result.path[-1] == result.found
+        assert result.found in holders
+        for a, b in zip(result.path, result.path[1:]):
+            assert b in graph[a]
+        assert len(result.path) - 1 == result.hops
+
+
+@given(graph=random_graph(), data=st.data())
+@settings(max_examples=100)
+def test_contacted_bounded_by_population(graph, data):
+    nodes = sorted(graph)
+    requester = data.draw(st.sampled_from(nodes))
+    result = ttl_flood(
+        requester, graph[requester], graph.__getitem__, lambda n: False, ttl=6
+    )
+    assert result.contacted <= len(nodes) - 1

@@ -1,0 +1,71 @@
+"""Property-based tests for link-table invariants.
+
+The invariant the maintenance-overhead metric depends on: links are
+always symmetric and degrees never exceed capacity (without eviction
+the cap is hard; with eviction it still holds because eviction makes
+room first).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.links import LinkTable
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["connect", "connect_evict", "disconnect", "drop_all"]),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+    ),
+    max_size=120,
+)
+
+
+def _apply(table, ops):
+    for op, a, b in ops:
+        if op == "drop_all":
+            table.drop_all(a)
+        elif a != b:
+            if op == "connect":
+                table.connect(a, b)
+            elif op == "connect_evict":
+                table.connect(a, b, evict=True)
+            else:
+                table.disconnect(a, b)
+
+
+@given(ops=OPS, capacity=st.integers(min_value=1, max_value=5))
+@settings(max_examples=150)
+def test_links_always_symmetric(ops, capacity):
+    table = LinkTable(capacity)
+    _apply(table, ops)
+    for node in range(10):
+        for neighbor in table.neighbors(node):
+            assert node in table.neighbors(neighbor), (node, neighbor)
+
+
+@given(ops=OPS, capacity=st.integers(min_value=1, max_value=5))
+@settings(max_examples=150)
+def test_degree_never_exceeds_capacity(ops, capacity):
+    table = LinkTable(capacity)
+    _apply(table, ops)
+    assert all(table.degree(node) <= capacity for node in range(10))
+
+
+@given(ops=OPS, capacity=st.integers(min_value=1, max_value=5))
+@settings(max_examples=100)
+def test_total_links_consistent_with_degrees(ops, capacity):
+    table = LinkTable(capacity)
+    _apply(table, ops)
+    degree_sum = sum(table.degree(node) for node in range(10))
+    assert degree_sum % 2 == 0
+    assert table.total_links() == degree_sum // 2
+
+
+@given(ops=OPS)
+@settings(max_examples=100)
+def test_no_self_links_ever(ops):
+    table = LinkTable(4)
+    _apply(table, ops)
+    for node in range(10):
+        assert node not in table.neighbors(node)

@@ -1,0 +1,112 @@
+"""Property-based tests: protocol invariants under random op sequences.
+
+Drives a SocialTube instance through arbitrary interleavings of session
+starts/ends, video requests and maintenance, then checks the structural
+invariants the design promises:
+
+* total links never exceed N_l + N_h;
+* all links are symmetric;
+* offline nodes hold no links;
+* locate() is always well-formed (exactly one of peer/server/cache).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_protocol
+from repro.core.socialtube import SocialTubeProtocol
+from repro.trace.synthesizer import TraceConfig, TraceSynthesizer
+
+_DATASET = TraceSynthesizer(
+    TraceConfig(num_users=40, num_channels=8, num_videos=160,
+                num_categories=4, seed=55)
+).synthesize()
+
+NUM_PEERS = 20
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["start", "end", "locate", "watch", "maintain"]),
+        st.integers(min_value=0, max_value=NUM_PEERS - 1),
+        st.integers(min_value=0, max_value=159),
+    ),
+    max_size=80,
+)
+
+
+def _drive(proto, ops):
+    for op, node, video in ops:
+        peer = proto.state(node)
+        if op == "start" and not peer.online:
+            proto.on_session_start(node)
+        elif op == "end" and peer.online:
+            if peer.current_video is not None:
+                proto.on_watch_finished(node, peer.current_video)
+            proto.on_session_end(node)
+        elif op == "locate" and peer.online:
+            proto.locate(node, video)
+        elif op == "watch" and peer.online:
+            proto.locate(node, video)
+            proto.on_watch_started(node, video)
+            proto.on_watch_finished(node, video)
+        elif op == "maintain" and peer.online:
+            proto.on_maintenance(node)
+
+
+def _fresh_proto(seed):
+    proto, _server = make_protocol(
+        SocialTubeProtocol, _DATASET, num_peers=NUM_PEERS, seed=seed
+    )
+    return proto
+
+
+@given(ops=OPS, seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_link_budget_never_exceeded(ops, seed):
+    proto = _fresh_proto(seed)
+    _drive(proto, ops)
+    budget = proto.structure.inner_link_limit + proto.structure.inter_link_limit
+    for node in range(NUM_PEERS):
+        assert proto.link_count(node) <= budget
+
+
+@given(ops=OPS, seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_links_symmetric_across_levels(ops, seed):
+    proto = _fresh_proto(seed)
+    _drive(proto, ops)
+    for table in (proto.structure.inner, proto.structure.inter):
+        for node in range(NUM_PEERS):
+            for neighbor in table.neighbors(node):
+                assert node in table.neighbors(neighbor)
+
+
+@given(ops=OPS, seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_offline_nodes_hold_no_links(ops, seed):
+    proto = _fresh_proto(seed)
+    _drive(proto, ops)
+    for node in range(NUM_PEERS):
+        if not proto.state(node).online:
+            assert proto.link_count(node) == 0
+
+
+@given(ops=OPS, seed=st.integers(min_value=0, max_value=100),
+       video=st.integers(min_value=0, max_value=159))
+@settings(max_examples=60, deadline=None)
+def test_locate_result_well_formed(ops, seed, video):
+    proto = _fresh_proto(seed)
+    _drive(proto, ops)
+    requester = 0
+    if not proto.state(requester).online:
+        proto.on_session_start(requester)
+    result = proto.locate(requester, video)
+    kinds = [result.from_cache, result.from_server, result.from_peer]
+    assert sum(bool(k) for k in kinds) == 1
+    if result.from_peer:
+        provider = proto.state(result.provider_id)
+        assert provider.online
+        assert provider.has_video(video)
+        assert result.provider_id != requester

@@ -1,0 +1,112 @@
+"""Unit tests for the Fig 10 channel-clustering analysis."""
+
+import pytest
+
+from repro.analysis.clustering import (
+    ChannelGraph,
+    build_channel_graph,
+    shared_subscriber_histogram,
+    top_channels_per_category,
+)
+
+
+class TestTopChannels:
+    def test_per_category_counts(self, default_dataset):
+        picks = top_channels_per_category(default_dataset, per_category=3)
+        per_cat = {}
+        for channel_id in picks:
+            cat = default_dataset.category_of_channel(channel_id)
+            per_cat[cat] = per_cat.get(cat, 0) + 1
+        assert all(count <= 3 for count in per_cat.values())
+
+    def test_picks_are_most_subscribed(self, default_dataset):
+        picks = set(top_channels_per_category(default_dataset, per_category=1))
+        for category in default_dataset.categories.values():
+            if not category.channel_ids:
+                continue
+            best = max(
+                category.channel_ids,
+                key=lambda c: default_dataset.channels[c].num_subscribers,
+            )
+            assert best in picks
+
+    def test_invalid_per_category_rejected(self, default_dataset):
+        with pytest.raises(ValueError):
+            top_channels_per_category(default_dataset, per_category=0)
+
+
+class TestBuildChannelGraph:
+    def test_invalid_threshold_rejected(self, default_dataset):
+        with pytest.raises(ValueError):
+            build_channel_graph(default_dataset, threshold=0)
+
+    def test_edges_meet_threshold(self, default_dataset):
+        graph = build_channel_graph(default_dataset, threshold=15, per_category=5)
+        for pair, shared in graph.edges.items():
+            a, b = tuple(pair)
+            actual = len(
+                default_dataset.channels[a].subscriber_ids
+                & default_dataset.channels[b].subscriber_ids
+            )
+            assert actual == shared >= 15
+
+    def test_higher_threshold_fewer_edges(self, default_dataset):
+        low = build_channel_graph(default_dataset, threshold=5, per_category=5)
+        high = build_channel_graph(default_dataset, threshold=50, per_category=5)
+        assert high.num_edges <= low.num_edges
+
+    def test_interest_clustering_beats_random_baseline(self, default_dataset):
+        # The O4 claim behind Fig 10: channels cluster by interest.
+        graph = build_channel_graph(default_dataset, threshold=15, per_category=5)
+        assert graph.num_edges > 0
+        random_baseline = 1.0 / default_dataset.num_categories
+        assert graph.intra_category_edge_fraction() > 2.5 * random_baseline
+
+    def test_neighbors(self, default_dataset):
+        graph = build_channel_graph(default_dataset, threshold=15, per_category=5)
+        some_pair = next(iter(graph.edges))
+        a, b = tuple(some_pair)
+        assert b in graph.neighbors(a)
+        assert a in graph.neighbors(b)
+
+
+class TestGraphMetrics:
+    def _triangle_graph(self):
+        graph = ChannelGraph(
+            nodes=[1, 2, 3, 4],
+            category_of={1: 0, 2: 0, 3: 1, 4: 1},
+        )
+        graph.edges[frozenset((1, 2))] = 10  # same category
+        graph.edges[frozenset((3, 4))] = 10  # same category
+        graph.edges[frozenset((2, 3))] = 10  # cross category
+        return graph
+
+    def test_intra_category_fraction(self):
+        assert self._triangle_graph().intra_category_edge_fraction() == pytest.approx(
+            2 / 3
+        )
+
+    def test_empty_graph_fraction_zero(self):
+        assert ChannelGraph().intra_category_edge_fraction() == 0.0
+
+    def test_connected_components(self):
+        graph = self._triangle_graph()
+        components = graph.connected_components()
+        assert len(components) == 1
+        assert components[0] == {1, 2, 3, 4}
+
+    def test_components_split_when_edge_removed(self):
+        graph = self._triangle_graph()
+        del graph.edges[frozenset((2, 3))]
+        components = sorted(graph.connected_components(), key=min)
+        assert components == [{1, 2}, {3, 4}]
+
+    def test_component_purity(self):
+        graph = self._triangle_graph()
+        del graph.edges[frozenset((2, 3))]
+        assert graph.component_purity() == pytest.approx(1.0)
+
+    def test_histogram_counts_pairs(self, default_dataset):
+        histogram = shared_subscriber_histogram(default_dataset, per_category=3)
+        picks = len(top_channels_per_category(default_dataset, per_category=3))
+        assert sum(count for _shared, count in histogram) == picks * (picks - 1) // 2

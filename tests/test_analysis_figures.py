@@ -1,0 +1,162 @@
+"""Section III figure reproduction: distributional shape assertions.
+
+These tests run the analysis on the default synthetic trace and assert
+the *qualitative properties* each paper figure demonstrates (O1-O5).
+"""
+
+import pytest
+
+from repro.analysis.figures import TraceAnalysis
+
+
+@pytest.fixture(scope="module")
+def analysis(default_dataset):
+    return TraceAnalysis(default_dataset)
+
+
+class TestFig2Growth:
+    def test_upload_volume_grows(self, analysis):
+        figure = analysis.fig2_videos_added_over_time()
+        assert figure.notes["growth_ratio"] > 1.5
+
+    def test_buckets_cover_horizon(self, analysis, default_dataset):
+        figure = analysis.fig2_videos_added_over_time(bucket_days=30)
+        total = sum(y for _x, y in figure.series["videos_added"])
+        assert total == default_dataset.num_videos
+
+    def test_invalid_bucket_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.fig2_videos_added_over_time(bucket_days=0)
+
+
+class TestFig3ChannelViewFrequency:
+    def test_heavy_tail_across_channels(self, analysis):
+        figure = analysis.fig3_channel_view_frequency_cdf()
+        # Paper: 20% of channels < 39 views/day, top 1% > 783k --
+        # orders of magnitude of spread.
+        assert figure.notes["p99"] > 20 * max(figure.notes["p20"], 1e-9)
+
+    def test_cdf_well_formed(self, analysis):
+        points = analysis.fig3_channel_view_frequency_cdf().series["cdf"]
+        assert points[-1][1] == 1.0
+
+
+class TestFig4Subscribers:
+    def test_subscriber_spread(self, analysis):
+        figure = analysis.fig4_channel_subscribers_cdf()
+        # Paper: bottom 25% < 100 subscribers, top 25% > 1390 (>10x).
+        assert figure.notes["p75"] >= 4 * max(figure.notes["p25"], 1.0)
+
+
+class TestFig5ViewsVsSubscriptions:
+    def test_strong_positive_correlation(self, analysis):
+        figure = analysis.fig5_views_vs_subscriptions()
+        assert figure.notes["log_pearson"] > 0.5
+
+    def test_scatter_sorted_by_subscribers(self, analysis):
+        points = analysis.fig5_views_vs_subscriptions().series["scatter"]
+        xs = [x for x, _y in points]
+        assert xs == sorted(xs)
+
+
+class TestFig6VideosPerChannel:
+    def test_heavy_tail(self, analysis):
+        figure = analysis.fig6_videos_per_channel_cdf()
+        # Paper: median 9 videos, top 10% > 116 -- strong skew.
+        assert figure.notes["p90"] > 3 * max(figure.notes["p50"], 1.0)
+
+
+class TestFig7VideoViews:
+    def test_one_percent_dominates(self, analysis):
+        figure = analysis.fig7_video_views_cdf()
+        # Paper: median 5,517 views, top 10% > 385,000 (~70x).
+        assert figure.notes["p99"] > 10 * max(figure.notes["p50"], 1.0)
+
+
+class TestFig8Favorites:
+    def test_favorites_correlate_with_views(self, analysis):
+        figure = analysis.fig8_favorites_cdf()
+        # Chatzopoulou et al.: Pearson close to 1 for views/favorites.
+        assert figure.notes["views_pearson"] > 0.8
+
+    def test_favorites_heavy_tailed(self, analysis):
+        figure = analysis.fig8_favorites_cdf()
+        assert figure.notes["p90"] > 3 * max(figure.notes["p20"], 1.0)
+
+
+class TestFig9WithinChannelZipf:
+    def test_zipf_slope_near_minus_one(self, analysis):
+        figure = analysis.fig9_within_channel_popularity()
+        for tier in ("high", "medium", "low"):
+            slope = figure.notes[f"{tier}_zipf_slope"]
+            assert -1.6 < slope < -0.5, f"{tier} channel slope {slope}"
+
+    def test_all_tiers_present(self, analysis):
+        figure = analysis.fig9_within_channel_popularity()
+        assert set(figure.series) == {"high", "medium", "low", "zipf_high"}
+
+    def test_rank_series_sorted_descending(self, analysis):
+        figure = analysis.fig9_within_channel_popularity()
+        views = [y for _x, y in figure.series["high"]]
+        assert views == sorted(views, reverse=True)
+
+    def test_high_channel_tops_low_channel(self, analysis):
+        figure = analysis.fig9_within_channel_popularity()
+        assert figure.series["high"][0][1] > figure.series["low"][0][1]
+
+    def test_min_videos_filter(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.fig9_within_channel_popularity(min_videos=10 ** 9)
+
+
+class TestFig11ChannelInterests:
+    def test_channels_are_focused(self, analysis, default_dataset):
+        figure = analysis.fig11_interests_per_channel_cdf()
+        assert figure.notes["p50"] <= default_dataset.num_categories / 2
+
+
+class TestFig12InterestSimilarity:
+    def test_users_subscribe_within_interests(self, analysis):
+        figure = analysis.fig12_interest_similarity_cdf()
+        assert figure.notes["p50"] >= 0.5
+        assert figure.notes["p75"] >= 0.7
+
+    def test_similarity_in_unit_interval(self, analysis):
+        points = analysis.fig12_interest_similarity_cdf().series["cdf"]
+        assert all(0.0 <= x <= 1.0 for x, _y in points)
+
+    def test_single_user_similarity_formula(self, analysis, default_dataset):
+        user = next(
+            u for u in default_dataset.iter_users()
+            if u.interest_ids and u.subscribed_channel_ids
+        )
+        value = analysis.user_interest_similarity(user.user_id)
+        assert 0.0 <= value <= 1.0
+
+
+class TestFig13UserInterests:
+    def test_limited_interest_counts(self, analysis):
+        figure = analysis.fig13_interests_per_user_cdf()
+        assert figure.notes["max"] <= 18
+        assert figure.notes["frac_below_10"] >= 0.55
+
+
+class TestObservations:
+    def test_all_observations_hold(self, analysis):
+        verdicts = analysis.check_observations()
+        failed = [name for name, ok in verdicts.items() if not ok]
+        assert not failed, f"observations failed: {failed}"
+
+
+class TestRendering:
+    def test_all_figures_render(self, analysis):
+        for figure in analysis.all_figures():
+            rows = figure.render_rows()
+            assert rows[0].startswith("Fig")
+            assert len(rows) >= 2
+
+    def test_empty_dataset_rejected(self):
+        from repro.trace.dataset import TraceDataset
+
+        with pytest.raises(ValueError):
+            TraceAnalysis(TraceDataset())

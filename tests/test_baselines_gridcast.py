@@ -1,0 +1,92 @@
+"""Unit tests for the GridCast-style baseline."""
+
+import pytest
+
+from helpers import make_protocol
+from repro.baselines.gridcast import GridCastProtocol
+
+
+@pytest.fixture()
+def proto(tiny_dataset):
+    protocol, _server = make_protocol(GridCastProtocol, tiny_dataset)
+    return protocol
+
+
+VIDEO = 0
+
+
+class TestReplicaRegistry:
+    def test_watching_registers_replica(self, proto):
+        proto.on_session_start(1)
+        proto.on_watch_started(1, VIDEO)
+        assert proto.replica_count(VIDEO) == 1
+
+    def test_replica_survives_watch_end(self, proto):
+        proto.on_session_start(1)
+        proto.on_watch_started(1, VIDEO)
+        proto.on_watch_finished(1, VIDEO)
+        assert proto.replica_count(VIDEO) == 1
+
+    def test_logoff_removes_replicas(self, proto):
+        proto.on_session_start(1)
+        proto.on_watch_started(1, VIDEO)
+        proto.on_session_end(1)
+        assert proto.replica_count(VIDEO) == 0
+
+    def test_relogin_re_reports_cache(self, proto):
+        proto.on_session_start(1)
+        proto.on_watch_started(1, VIDEO)
+        proto.on_session_end(1)
+        proto.on_session_start(1)
+        assert proto.replica_count(VIDEO) == 1
+
+
+class TestLocate:
+    def test_cache_hit(self, proto):
+        proto.on_session_start(1)
+        proto.on_watch_started(1, VIDEO)
+        assert proto.locate(1, VIDEO).from_cache
+
+    def test_no_replicas_server_serves(self, proto):
+        proto.on_session_start(1)
+        assert proto.locate(1, VIDEO).from_server
+
+    def test_replica_found_via_tracker(self, proto):
+        proto.on_session_start(1)
+        proto.on_session_start(2)
+        proto.on_watch_started(2, VIDEO)
+        proto.on_watch_finished(2, VIDEO)  # not a current watcher anymore
+        result = proto.locate(1, VIDEO)
+        assert result.from_peer
+        assert result.provider_id == 2
+
+    def test_offline_replica_not_served(self, proto):
+        proto.on_session_start(2)
+        proto.on_watch_started(2, VIDEO)
+        proto.on_session_end(2)
+        proto.on_session_start(1)
+        assert proto.locate(1, VIDEO).from_server
+
+    def test_no_standing_links(self, proto):
+        proto.on_session_start(1)
+        proto.on_watch_started(1, VIDEO)
+        assert proto.link_count(1) == 0
+
+    def test_invalid_referral_count_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            make_protocol(GridCastProtocol, tiny_dataset, replicas_per_referral=0)
+
+
+class TestComparisonStory:
+    def test_gridcast_beats_pavod_on_availability(self, tiny_dataset):
+        """Caching alone lifts availability over current-watcher-only."""
+        from repro.experiments.config import SimulationConfig
+        from repro.experiments.runner import run_experiment
+
+        config = SimulationConfig.smoke_scale(seed=31)
+        gridcast = run_experiment("gridcast", config=config)
+        pavod = run_experiment("pavod", config=config)
+        assert (
+            gridcast.metrics.peer_bandwidth_p50
+            > pavod.metrics.peer_bandwidth_p50
+        )

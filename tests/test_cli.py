@@ -1,0 +1,40 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_compare_quick(self, capsys):
+        assert main(["compare", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "SocialTube" in out
+        assert "NetTube" in out
+        assert "PA-VoD" in out
+        assert "normalized peer bandwidth" in out
+
+    def test_figures_quick(self, capsys):
+        assert main(["figures", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 15" in out
+        assert "Fig 16a" in out
+        assert "Fig 17a" in out
+        assert "Fig 18a" in out
+        assert "Table I" in out
+        assert "shape checks" in out
+
+    def test_seed_flag_changes_compare_output(self, capsys):
+        main(["--seed", "1", "compare", "--quick"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "compare", "--quick"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,103 @@
+"""Unit tests for the paper's analytical models (Fig 15, prefetch accuracy)."""
+
+import math
+
+import pytest
+
+from repro.core.model import (
+    fig15_series,
+    harmonic_number,
+    nettube_maintenance_overhead,
+    overhead_crossover,
+    prefetch_accuracy,
+    socialtube_maintenance_overhead,
+    zipf_top_k_mass,
+)
+
+
+class TestMaintenanceOverhead:
+    def test_socialtube_formula(self):
+        assert socialtube_maintenance_overhead(5000, 250000) == pytest.approx(
+            math.log(5000) + math.log(250000)
+        )
+
+    def test_nettube_formula(self):
+        assert nettube_maintenance_overhead(10, 500) == pytest.approx(
+            10 * math.log(500)
+        )
+
+    def test_nettube_zero_videos(self):
+        assert nettube_maintenance_overhead(0, 500) == 0.0
+
+    def test_invalid_populations_rejected(self):
+        with pytest.raises(ValueError):
+            socialtube_maintenance_overhead(0, 10)
+        with pytest.raises(ValueError):
+            nettube_maintenance_overhead(-1, 10)
+        with pytest.raises(ValueError):
+            nettube_maintenance_overhead(1, 0)
+
+    def test_fig15_socialtube_constant(self):
+        socialtube, _ = fig15_series(50)
+        values = {v for _m, v in socialtube}
+        assert len(values) == 1
+
+    def test_fig15_nettube_linear(self):
+        _, nettube = fig15_series(50)
+        diffs = [b[1] - a[1] for a, b in zip(nettube, nettube[1:])]
+        assert all(d == pytest.approx(diffs[0]) for d in diffs)
+
+    def test_fig15_crossover(self):
+        # NetTube is cheaper for small m, costlier past the crossover --
+        # the figure's takeaway.
+        crossover = overhead_crossover()
+        socialtube, nettube = fig15_series(50)
+        below = int(crossover)
+        above = below + 1
+        assert nettube[below - 1][1] < socialtube[below - 1][1]
+        assert nettube[above][1] > socialtube[above][1]
+
+
+class TestPrefetchAccuracy:
+    def test_harmonic_number(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1 + 0.5 + 1 / 3)
+        with pytest.raises(ValueError):
+            harmonic_number(0)
+
+    def test_paper_single_prefetch_number(self):
+        # "For a channel with 25 videos, the probability that a single
+        # prefetch is accurate equals 26.2%."
+        assert prefetch_accuracy(25, 1) == pytest.approx(0.262, abs=0.001)
+
+    def test_paper_three_four_prefetch_number(self):
+        # "the prefetch accuracy rises to 54.6%" (3-4 prefetches).
+        assert prefetch_accuracy(25, 4) == pytest.approx(0.546, abs=0.001)
+
+    def test_zero_prefetch_zero_accuracy(self):
+        assert prefetch_accuracy(25, 0) == 0.0
+
+    def test_prefetch_all_videos_certain(self):
+        assert prefetch_accuracy(10, 10) == pytest.approx(1.0)
+
+    def test_k_clamped_to_channel_size(self):
+        assert prefetch_accuracy(10, 100) == pytest.approx(1.0)
+
+    def test_monotone_in_k(self):
+        values = [prefetch_accuracy(25, k) for k in range(0, 26)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_diminishing_returns(self):
+        gain_first = prefetch_accuracy(25, 1) - prefetch_accuracy(25, 0)
+        gain_fifth = prefetch_accuracy(25, 5) - prefetch_accuracy(25, 4)
+        assert gain_first > gain_fifth
+
+    def test_general_exponent(self):
+        # s=0 -> uniform: top-k mass is k/N.
+        assert zipf_top_k_mass(10, 3, exponent=0.0) == pytest.approx(0.3)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_top_k_mass(0, 1)
+        with pytest.raises(ValueError):
+            zipf_top_k_mass(5, -1)

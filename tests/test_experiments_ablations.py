@@ -1,0 +1,91 @@
+"""Unit tests for the ablation sweeps (the paper's future-work study)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationPoint,
+    AblationResult,
+    churn_sweep,
+    link_budget_sweep,
+    ttl_sweep,
+)
+from repro.experiments.config import SimulationConfig
+from repro.trace.synthesizer import TraceConfig
+
+
+MICRO = SimulationConfig(
+    num_nodes=60,
+    trace=TraceConfig(num_users=60, num_channels=12, num_videos=300,
+                      num_categories=4, seed=21),
+    sessions_per_user=2,
+    videos_per_session=4,
+    mean_off_time_s=120.0,
+    seed=21,
+)
+
+
+def _point(label, bw, links):
+    return AblationPoint(
+        label=label,
+        parameters={},
+        peer_bandwidth_p50=bw,
+        startup_delay_ms_mean=100.0,
+        mean_link_overhead=links,
+        server_fallback_fraction=0.1,
+        mean_peers_contacted=5.0,
+    )
+
+
+class TestAblationResult:
+    def test_best_tradeoff_maximises_ratio(self):
+        result = AblationResult(
+            name="x",
+            points=[_point("a", 0.5, 4.0), _point("b", 0.6, 20.0)],
+        )
+        assert result.best_tradeoff().label == "a"
+
+    def test_best_tradeoff_empty(self):
+        assert AblationResult(name="x").best_tradeoff() is None
+
+    def test_render_rows(self):
+        result = AblationResult(name="demo", points=[_point("a", 0.5, 4.0)])
+        rows = result.render_rows()
+        assert rows[0] == "Ablation: demo"
+        assert any("best availability" in row for row in rows)
+
+
+class TestSweeps:
+    def test_link_budget_sweep_runs(self):
+        result = link_budget_sweep(MICRO, budgets=((2, 4), (5, 10)))
+        assert len(result.points) == 2
+        assert result.points[0].label == "N_l=2, N_h=4"
+        # Larger budgets cannot *reduce* realised link overhead.
+        assert (
+            result.points[1].mean_link_overhead
+            >= result.points[0].mean_link_overhead - 0.5
+        )
+
+    def test_link_overhead_bounded_by_budget(self):
+        result = link_budget_sweep(MICRO, budgets=((2, 4),))
+        assert result.points[0].mean_link_overhead <= 2 + 4 + 0.5
+
+    def test_ttl_sweep_runs(self):
+        result = ttl_sweep(MICRO, ttls=(1, 3))
+        assert [p.label for p in result.points] == ["TTL=1", "TTL=3"]
+        # Deeper floods contact at least as many peers per query.
+        assert (
+            result.points[1].mean_peers_contacted
+            >= result.points[0].mean_peers_contacted - 0.5
+        )
+
+    def test_churn_sweep_runs(self):
+        result = churn_sweep(MICRO, mean_off_times=(30.0, 600.0))
+        assert len(result.points) == 2
+        for point in result.points:
+            assert 0.0 <= point.peer_bandwidth_p50 <= 1.0
+
+    def test_sweep_metrics_well_formed(self):
+        result = ttl_sweep(MICRO, ttls=(2,))
+        point = result.points[0]
+        assert point.startup_delay_ms_mean > 0
+        assert 0.0 <= point.server_fallback_fraction <= 1.0

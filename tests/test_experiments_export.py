@@ -1,0 +1,102 @@
+"""Unit tests for the CSV/JSON figure exporters."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.analysis.figures import FigureSeries
+from repro.experiments.export import (
+    _slug,
+    export_all,
+    export_evaluation_figure,
+    export_figure_series,
+)
+from repro.experiments.figures import EvaluationFigure, FigureRow
+
+
+@pytest.fixture()
+def trace_figure():
+    return FigureSeries(
+        figure="Fig 7",
+        title="views per video",
+        series={"cdf": [(1.0, 0.5), (10.0, 1.0)]},
+        notes={"p50": 1.0},
+    )
+
+
+@pytest.fixture()
+def eval_figure():
+    return EvaluationFigure(
+        figure="Fig 16a",
+        title="peer bandwidth",
+        rows=[
+            FigureRow(label="SocialTube", values={"p1": 0.5, "p50": 0.8}),
+            FigureRow(label="PA-VoD", values={"p1": 0.2, "p50": 0.5}),
+        ],
+        notes=["demo"],
+    )
+
+
+class TestSlug:
+    def test_figure_ids(self):
+        assert _slug("Fig 16a") == "fig_16a"
+        assert _slug("Table I") == "table_i"
+
+    def test_strips_specials(self):
+        assert _slug("a/b:c") == "a_b_c"
+
+
+class TestFigureSeriesExport:
+    def test_writes_csv_and_json(self, trace_figure, tmp_path):
+        written = export_figure_series(trace_figure, str(tmp_path))
+        names = {os.path.basename(p) for p in written}
+        assert names == {"fig_7_cdf.csv", "fig_7.json"}
+
+    def test_csv_contents_round_trip(self, trace_figure, tmp_path):
+        export_figure_series(trace_figure, str(tmp_path))
+        with open(tmp_path / "fig_7_cdf.csv", newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["x", "y"]
+        assert [tuple(map(float, r)) for r in rows[1:]] == [(1.0, 0.5), (10.0, 1.0)]
+
+    def test_json_metadata(self, trace_figure, tmp_path):
+        export_figure_series(trace_figure, str(tmp_path))
+        meta = json.loads((tmp_path / "fig_7.json").read_text())
+        assert meta["figure"] == "Fig 7"
+        assert meta["notes"]["p50"] == 1.0
+
+
+class TestEvaluationFigureExport:
+    def test_writes_csv_and_json(self, eval_figure, tmp_path):
+        written = export_evaluation_figure(eval_figure, str(tmp_path))
+        names = {os.path.basename(p) for p in written}
+        assert names == {"fig_16a.csv", "fig_16a.json"}
+
+    def test_csv_has_label_column(self, eval_figure, tmp_path):
+        export_evaluation_figure(eval_figure, str(tmp_path))
+        with open(tmp_path / "fig_16a.csv", newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["label", "p1", "p50"]
+        assert rows[1][0] == "SocialTube"
+        assert float(rows[1][2]) == 0.8
+
+    def test_json_round_trip(self, eval_figure, tmp_path):
+        export_evaluation_figure(eval_figure, str(tmp_path))
+        meta = json.loads((tmp_path / "fig_16a.json").read_text())
+        assert meta["rows"][1]["label"] == "PA-VoD"
+
+
+class TestExportAll:
+    def test_bundle(self, trace_figure, eval_figure, tmp_path):
+        written = export_all([trace_figure], [eval_figure], str(tmp_path))
+        assert len(written) == 4
+        assert all(os.path.exists(p) for p in written)
+
+    def test_real_trace_figures_exportable(self, tiny_dataset, tmp_path):
+        from repro.analysis.figures import TraceAnalysis
+
+        analysis = TraceAnalysis(tiny_dataset)
+        written = export_all(analysis.all_figures(), [], str(tmp_path))
+        assert len(written) > 10

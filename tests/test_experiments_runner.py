@@ -1,0 +1,105 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import (
+    PROTOCOL_FACTORIES,
+    ExperimentRunner,
+    run_experiment,
+)
+from repro.trace.synthesizer import TraceConfig, TraceSynthesizer
+
+
+MICRO = SimulationConfig(
+    num_nodes=40,
+    trace=TraceConfig(num_users=40, num_channels=10, num_videos=200,
+                      num_categories=4, seed=10),
+    sessions_per_user=2,
+    videos_per_session=4,
+    mean_off_time_s=60.0,
+    seed=10,
+)
+
+
+class TestConstruction:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(MICRO, protocol_name="bittorrent")
+
+    def test_registry_contents(self):
+        assert set(PROTOCOL_FACTORIES) == {"socialtube", "nettube", "pavod", "gridcast"}
+
+    def test_dataset_population_checked(self):
+        small = TraceSynthesizer(
+            TraceConfig(num_users=10, num_channels=3, num_videos=30, seed=1)
+        ).synthesize()
+        with pytest.raises(ValueError):
+            ExperimentRunner(MICRO, protocol_name="socialtube", dataset=small)
+
+    def test_protocol_overrides_forwarded(self):
+        runner = ExperimentRunner(
+            MICRO,
+            protocol_name="socialtube",
+            protocol_overrides={"enable_prefetch": False},
+        )
+        assert runner.protocol.enable_prefetch is False
+
+
+class TestRun:
+    @pytest.mark.parametrize("name", ["socialtube", "nettube", "pavod"])
+    def test_completes_all_sessions(self, name):
+        result = run_experiment(name, config=MICRO)
+        expected = MICRO.num_nodes * MICRO.sessions_per_user * MICRO.videos_per_session
+        assert result.metrics.num_requests == expected
+
+    def test_deterministic_runs(self):
+        a = run_experiment("socialtube", config=MICRO)
+        b = run_experiment("socialtube", config=MICRO)
+        assert a.metrics.startup_delay_ms_mean == b.metrics.startup_delay_ms_mean
+        assert a.metrics.peer_bandwidth_p50 == b.metrics.peer_bandwidth_p50
+        assert a.events_processed == b.events_processed
+
+    def test_different_seeds_differ(self):
+        import dataclasses
+
+        other = dataclasses.replace(MICRO, seed=11)
+        a = run_experiment("socialtube", config=MICRO)
+        b = run_experiment("socialtube", config=other)
+        assert a.metrics.startup_delay_ms_mean != b.metrics.startup_delay_ms_mean
+
+    def test_all_peers_end_offline(self):
+        runner = ExperimentRunner(MICRO, protocol_name="socialtube")
+        runner.run()
+        assert all(not peer.online for peer in runner.protocol.peers.values())
+        assert runner.server.online_count == 0
+
+    def test_bandwidth_slots_all_released(self):
+        runner = ExperimentRunner(MICRO, protocol_name="pavod")
+        runner.run()
+        assert runner.server.uplink.active_transfers == 0
+        assert all(
+            peer.uplink.active_transfers == 0
+            for peer in runner.protocol.peers.values()
+        )
+
+    def test_startup_delays_nonnegative(self):
+        result = run_experiment("nettube", config=MICRO)
+        assert result.metrics.startup_delay_ms_p50 >= 0
+        assert result.metrics.startup_delay_ms_p99 >= result.metrics.startup_delay_ms_p50
+
+    def test_overhead_sampled_for_every_video_index(self):
+        result = run_experiment("socialtube", config=MICRO)
+        assert set(result.metrics.overhead_by_video_index) == set(
+            range(1, MICRO.videos_per_session + 1)
+        )
+
+    def test_prefetch_disabled_means_no_hits(self):
+        result = run_experiment("socialtube", config=MICRO, enable_prefetch=False)
+        assert result.prefetch_hit_rate == 0.0
+
+    def test_render_rows(self):
+        result = run_experiment("socialtube", config=MICRO)
+        text = "\n".join(result.render_rows())
+        assert "SocialTube" in text
+        assert "server" in text

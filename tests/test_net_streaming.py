@@ -1,0 +1,120 @@
+"""Unit tests for the chunk-level streaming playback model."""
+
+import pytest
+
+from repro.net.streaming import (
+    PlaybackReport,
+    StreamingError,
+    simulate_playback,
+    stall_free_rate,
+)
+
+BITRATE = 320_000.0
+
+
+def _play(rate, length=200.0, chunks=20, buffer_s=2.0, prefetched=False):
+    return simulate_playback(
+        video_length_s=length,
+        bitrate_bps=BITRATE,
+        transfer_rate_bps=rate,
+        chunks=chunks,
+        startup_buffer_s=buffer_s,
+        prefetched_first_chunk=prefetched,
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(video_length_s=0),
+            dict(bitrate_bps=0),
+            dict(transfer_rate_bps=0),
+            dict(chunks=0),
+            dict(startup_buffer_s=-1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        base = dict(
+            video_length_s=100.0,
+            bitrate_bps=BITRATE,
+            transfer_rate_bps=BITRATE,
+            chunks=10,
+            startup_buffer_s=2.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(StreamingError):
+            simulate_playback(**base)
+
+
+class TestSmoothPlayback:
+    def test_fast_transfer_never_stalls(self):
+        report = _play(rate=2 * BITRATE)
+        assert report.smooth
+        assert report.total_stall_s == 0.0
+        assert report.continuity_index == 1.0
+
+    def test_exact_bitrate_never_stalls(self):
+        # At exactly the bitrate, each chunk arrives exactly when needed.
+        report = _play(rate=BITRATE)
+        assert report.smooth
+
+    def test_startup_scales_with_rate(self):
+        fast = _play(rate=4 * BITRATE)
+        slow = _play(rate=1 * BITRATE)
+        assert fast.startup_delay_s < slow.startup_delay_s
+
+
+class TestStalls:
+    def test_slow_transfer_stalls(self):
+        report = _play(rate=0.5 * BITRATE)
+        assert report.stall_count > 0
+        assert report.total_stall_s > 0
+        assert report.continuity_index < 1.0
+
+    def test_half_rate_doubles_wall_clock(self):
+        # At rate r = bitrate/2, the transfer takes 2x the video length;
+        # total stall ~= video length minus what the startup buffered.
+        report = _play(rate=0.5 * BITRATE, length=200.0)
+        wall = report.startup_delay_s + report.playback_duration_s + report.total_stall_s
+        assert wall == pytest.approx(400.0, rel=0.05)
+
+    def test_continuity_monotone_in_rate(self):
+        rates = [0.3, 0.5, 0.8, 1.0, 2.0]
+        continuity = [_play(rate=f * BITRATE).continuity_index for f in rates]
+        assert continuity == sorted(continuity)
+
+    def test_stall_durations_sum(self):
+        report = _play(rate=0.4 * BITRATE)
+        assert sum(report.stalls) == pytest.approx(report.total_stall_s)
+
+
+class TestPrefetchedFirstChunk:
+    def test_prefetch_zeroes_startup(self):
+        report = _play(rate=2 * BITRATE, prefetched=True)
+        assert report.startup_delay_s == 0.0
+
+    def test_prefetch_does_not_prevent_later_stalls(self):
+        report = _play(rate=0.4 * BITRATE, prefetched=True)
+        assert report.stall_count > 0
+
+    def test_prefetch_smooth_at_adequate_rate(self):
+        report = _play(rate=2 * BITRATE, prefetched=True)
+        assert report.smooth
+
+
+class TestHelpers:
+    def test_stall_free_rate(self):
+        assert stall_free_rate(BITRATE) == BITRATE
+        assert stall_free_rate(BITRATE, 1.5) == 1.5 * BITRATE
+        with pytest.raises(StreamingError):
+            stall_free_rate(0)
+        with pytest.raises(StreamingError):
+            stall_free_rate(BITRATE, 0.5)
+
+    def test_report_continuity_degenerate(self):
+        report = PlaybackReport(
+            startup_delay_s=0.0, stall_count=0, total_stall_s=0.0,
+            playback_duration_s=0.0,
+        )
+        assert report.continuity_index == 1.0

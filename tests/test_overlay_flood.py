@@ -1,0 +1,90 @@
+"""Unit tests for TTL-scoped flooding search."""
+
+import pytest
+
+from repro.overlay.flood import ttl_flood
+
+
+def _line_graph(n):
+    """0 - 1 - 2 - ... - (n-1)."""
+    adjacency = {i: [] for i in range(n)}
+    for i in range(n - 1):
+        adjacency[i].append(i + 1)
+        adjacency[i + 1].append(i)
+    return adjacency
+
+
+class TestTtlFlood:
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ttl_flood(0, [], lambda n: [], lambda n: False, ttl=0)
+
+    def test_no_neighbors_fails(self):
+        result = ttl_flood(0, [], lambda n: [], lambda n: False, ttl=2)
+        assert not result.success
+        assert result.contacted == 0
+
+    def test_direct_neighbor_found_at_hop_one(self):
+        adj = _line_graph(3)
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: n == 1, ttl=2)
+        assert result.found == 1
+        assert result.hops == 1
+        assert result.path == [0, 1]
+
+    def test_two_hop_found(self):
+        adj = _line_graph(4)
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: n == 2, ttl=2)
+        assert result.found == 2
+        assert result.hops == 2
+        assert result.path == [0, 1, 2]
+
+    def test_ttl_limits_depth(self):
+        adj = _line_graph(6)
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: n == 4, ttl=2)
+        assert not result.success
+
+    def test_ttl_three_reaches_further(self):
+        adj = _line_graph(6)
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: n == 3, ttl=3)
+        assert result.found == 3
+        assert result.hops == 3
+
+    def test_requester_not_a_holder(self):
+        adj = _line_graph(3)
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: n == 0, ttl=2)
+        assert not result.success
+
+    def test_bfs_finds_minimal_hops(self):
+        # Diamond: 0-1-3, 0-2-3; holder 3 reachable at depth 2 both ways.
+        adj = {0: [1, 2], 1: [0, 3], 2: [0, 3], 3: [1, 2]}
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: n == 3, ttl=5)
+        assert result.hops == 2
+
+    def test_nearest_holder_wins(self):
+        adj = _line_graph(5)
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: n in (2, 4), ttl=4)
+        assert result.found == 2
+
+    def test_contacted_counts_distinct_peers(self):
+        # Star: requester linked to 4 leaves, none a holder.
+        adj = {0: [1, 2, 3, 4], 1: [0], 2: [0], 3: [0], 4: [0]}
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: False, ttl=2)
+        assert result.contacted == 4
+
+    def test_cycle_does_not_loop(self):
+        # Triangle with no holder: flood terminates.
+        adj = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: False, ttl=10)
+        assert not result.success
+        assert result.contacted == 2
+
+    def test_path_walkable(self):
+        adj = _line_graph(4)
+        result = ttl_flood(0, adj[0], adj.__getitem__, lambda n: n == 3, ttl=3)
+        for a, b in zip(result.path, result.path[1:]):
+            assert b in adj[a]
+
+    def test_start_neighbors_deduplicated(self):
+        adj = {0: [1, 1, 1], 1: [0]}
+        result = ttl_flood(0, [1, 1, 1], adj.__getitem__, lambda n: False, ttl=2)
+        assert result.contacted == 1

@@ -1,0 +1,153 @@
+"""Unit tests for link-set / link-table management."""
+
+import random
+
+import pytest
+
+from repro.overlay.links import LinkSet, LinkTable
+
+
+class TestLinkSet:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSet(0)
+
+    def test_add_and_contains(self):
+        links = LinkSet(3)
+        links.add(1)
+        assert 1 in links
+        assert len(links) == 1
+
+    def test_duplicate_add_is_noop(self):
+        links = LinkSet(3)
+        links.add(1)
+        assert links.add(1) is None
+        assert len(links) == 1
+
+    def test_full_add_raises_without_evict(self):
+        links = LinkSet(1)
+        links.add(1)
+        with pytest.raises(OverflowError):
+            links.add(2)
+
+    def test_evict_drops_oldest(self):
+        links = LinkSet(2)
+        links.add(1)
+        links.add(2)
+        evicted = links.add(3, evict=True)
+        assert evicted == 1
+        assert links.members() == [2, 3]
+
+    def test_try_add(self):
+        links = LinkSet(1)
+        assert links.try_add(1) is True
+        assert links.try_add(1) is True  # already present
+        assert links.try_add(2) is False  # full
+
+    def test_remove(self):
+        links = LinkSet(2)
+        links.add(1)
+        assert links.remove(1) is True
+        assert links.remove(1) is False
+
+    def test_is_full(self):
+        links = LinkSet(2)
+        assert not links.is_full
+        links.add(1)
+        links.add(2)
+        assert links.is_full
+
+    def test_members_order_is_insertion(self):
+        links = LinkSet(5)
+        for n in (5, 3, 9):
+            links.add(n)
+        assert links.members() == [5, 3, 9]
+
+    def test_random_member(self):
+        links = LinkSet(3)
+        assert links.random_member(random.Random(0)) is None
+        links.add(7)
+        assert links.random_member(random.Random(0)) == 7
+
+    def test_clear(self):
+        links = LinkSet(3)
+        links.add(1)
+        links.clear()
+        assert len(links) == 0
+
+
+class TestLinkTable:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTable(0)
+
+    def test_connect_is_symmetric(self):
+        table = LinkTable(3)
+        assert table.connect(1, 2)
+        assert table.connected(1, 2)
+        assert table.connected(2, 1)
+        assert table.degree(1) == table.degree(2) == 1
+
+    def test_self_link_rejected(self):
+        table = LinkTable(3)
+        with pytest.raises(ValueError):
+            table.connect(1, 1)
+
+    def test_connect_existing_is_true(self):
+        table = LinkTable(3)
+        table.connect(1, 2)
+        assert table.connect(1, 2) is True
+        assert table.degree(1) == 1
+
+    def test_connect_refused_when_either_full(self):
+        table = LinkTable(1)
+        table.connect(1, 2)
+        assert table.connect(1, 3) is False  # node 1 full
+        assert table.connect(3, 2) is False  # node 2 full
+
+    def test_connect_with_evict_keeps_symmetry(self):
+        table = LinkTable(1)
+        table.connect(1, 2)
+        assert table.connect(1, 3, evict=True) is True
+        # Node 1 evicted its link to 2; node 2 must not still list 1.
+        assert not table.connected(2, 1)
+        assert table.connected(1, 3)
+        assert table.degree(2) == 0
+
+    def test_disconnect(self):
+        table = LinkTable(3)
+        table.connect(1, 2)
+        table.disconnect(1, 2)
+        assert table.degree(1) == 0
+        assert table.degree(2) == 0
+
+    def test_drop_all_notifies_neighbors(self):
+        table = LinkTable(3)
+        table.connect(1, 2)
+        table.connect(1, 3)
+        table.drop_all(1)
+        assert table.degree(1) == 0
+        assert not table.connected(2, 1)
+        assert not table.connected(3, 1)
+
+    def test_neighbors_list(self):
+        table = LinkTable(3)
+        table.connect(1, 2)
+        table.connect(1, 3)
+        assert set(table.neighbors(1)) == {2, 3}
+        assert table.neighbors(99) == []
+
+    def test_total_links(self):
+        table = LinkTable(3)
+        table.connect(1, 2)
+        table.connect(2, 3)
+        assert table.total_links() == 2
+
+    def test_degree_never_exceeds_capacity_without_evict(self):
+        table = LinkTable(2)
+        rng = random.Random(0)
+        for _ in range(100):
+            a, b = rng.randrange(10), rng.randrange(10)
+            if a != b:
+                table.connect(a, b)
+        assert all(table.degree(n) <= 2 for n in range(10))

@@ -1,0 +1,78 @@
+"""Unit tests for probe-traffic accounting."""
+
+import pytest
+
+from repro.overlay.maintenance import (
+    DEFAULT_PROBE_PERIOD_S,
+    compare_probe_traffic,
+    estimate_probe_traffic,
+)
+
+
+SOCIALTUBE_SERIES = [(i, 15.0) for i in range(1, 11)]
+NETTUBE_SERIES = [(i, 5.0 * i) for i in range(1, 11)]
+
+
+class TestEstimate:
+    def test_flat_series(self):
+        estimate = estimate_probe_traffic(
+            "SocialTube", SOCIALTUBE_SERIES, session_duration_s=3000.0,
+            probe_period_s=600.0,
+        )
+        assert estimate.mean_links == pytest.approx(15.0)
+        assert estimate.probes_per_session == pytest.approx(15.0 * 5)
+        assert estimate.probes_per_second == pytest.approx(75.0 / 3000.0)
+
+    def test_growing_series_time_average(self):
+        estimate = estimate_probe_traffic(
+            "NetTube", NETTUBE_SERIES, session_duration_s=3000.0,
+            probe_period_s=600.0,
+        )
+        assert estimate.mean_links == pytest.approx(27.5)
+
+    def test_default_period_is_paper_value(self):
+        assert DEFAULT_PROBE_PERIOD_S == 600.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(session_duration_s=0.0),
+            dict(probe_period_s=0.0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        base = dict(
+            protocol="X",
+            overhead_series=SOCIALTUBE_SERIES,
+            session_duration_s=3000.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            estimate_probe_traffic(**base)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_probe_traffic("X", [], 3000.0)
+
+
+class TestCompare:
+    def test_sorted_cheapest_first(self):
+        estimates = compare_probe_traffic(
+            {"NetTube": NETTUBE_SERIES, "SocialTube": SOCIALTUBE_SERIES},
+            session_duration_s=3000.0,
+        )
+        assert [e.protocol for e in estimates] == ["SocialTube", "NetTube"]
+
+    def test_render(self):
+        estimates = compare_probe_traffic(
+            {"SocialTube": SOCIALTUBE_SERIES}, session_duration_s=3000.0
+        )
+        assert "SocialTube" in estimates[0].render()
+
+    def test_from_real_run(self, smoke_config):
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment("socialtube", config=smoke_config)
+        series = result.metrics.overhead_series()
+        estimate = estimate_probe_traffic("SocialTube", series, 2000.0)
+        assert estimate.probes_per_session > 0

@@ -1,0 +1,52 @@
+"""Unit tests for the PlanetLab testbed front-end (fast paths only).
+
+The full WAN comparison lives in tests/integration/test_planetlab.py;
+these cover the wiring.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig, simulator_environment
+from repro.planetlab.testbed import PlanetLabTestbed
+from repro.trace.synthesizer import TraceConfig
+
+
+@pytest.fixture()
+def tiny_testbed():
+    config = SimulationConfig(
+        num_nodes=40,
+        trace=TraceConfig(num_users=40, num_channels=12, num_videos=240,
+                          num_categories=6, seed=17),
+        sessions_per_user=2,
+        videos_per_session=3,
+        mean_off_time_s=60.0,
+        seed=17,
+    )
+    return PlanetLabTestbed(config=config)
+
+
+class TestPlanetLabTestbed:
+    def test_default_config_is_paper_scale(self):
+        testbed = PlanetLabTestbed()
+        assert testbed.config.num_nodes == 250
+        assert testbed.environment.name == "planetlab"
+        assert testbed.environment.peer_failure_prob > 0
+
+    def test_run_single_protocol(self, tiny_testbed):
+        result = tiny_testbed.run("socialtube")
+        assert result.metrics.environment == "planetlab"
+        assert result.metrics.num_requests == 40 * 2 * 3
+
+    def test_protocol_overrides_forwarded(self, tiny_testbed):
+        result = tiny_testbed.run("socialtube", enable_prefetch=False)
+        assert result.prefetch_hit_rate == 0.0
+
+    def test_compare_protocols_keys(self, tiny_testbed):
+        results = tiny_testbed.compare_protocols(names=("pavod", "socialtube"))
+        assert set(results) == {"pavod", "socialtube"}
+
+    def test_custom_environment_honoured(self):
+        config = SimulationConfig.smoke_scale(seed=3)
+        testbed = PlanetLabTestbed(config=config, environment=simulator_environment())
+        result = testbed.run("pavod")
+        assert result.metrics.environment == "peersim"

@@ -1,0 +1,192 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, EventScheduler, SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert EventScheduler().now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert EventScheduler(start_time=5.0).now == 5.0
+
+    def test_schedule_returns_pending_event(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        assert event.pending
+        assert event.time == 1.0
+
+    def test_schedule_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(SimulationError):
+            sched.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sched = EventScheduler(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sched.schedule_at(9.0, lambda: None)
+
+    def test_schedule_zero_delay_allowed(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(0.0, fired.append, 1)
+        sched.run()
+        assert fired == [1]
+
+    def test_callback_receives_args(self):
+        sched = EventScheduler()
+        got = []
+        sched.schedule(1.0, lambda a, b: got.append((a, b)), "x", 2)
+        sched.run()
+        assert got == [("x", 2)]
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule(3.0, order.append, 3)
+        sched.schedule(1.0, order.append, 1)
+        sched.schedule(2.0, order.append, 2)
+        sched.run()
+        assert order == [1, 2, 3]
+
+    def test_ties_fire_fifo(self):
+        sched = EventScheduler()
+        order = []
+        for i in range(10):
+            sched.schedule(1.0, order.append, i)
+        sched.run()
+        assert order == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(2.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [2.5]
+
+    def test_nested_scheduling_during_event(self):
+        sched = EventScheduler()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sched.schedule(1.0, lambda: order.append("inner"))
+
+        sched.schedule(1.0, outer)
+        sched.run()
+        assert order == ["outer", "inner"]
+        assert sched.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule(1.0, fired.append, 1)
+        event.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        event = Event(1.0, lambda: None, ())
+        event.cancel()
+        event.cancel()
+        assert not event.pending
+
+    def test_cancelled_events_skipped_in_pending_count(self):
+        sched = EventScheduler()
+        keep = sched.schedule(1.0, lambda: None)
+        drop = sched.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sched.pending_count() == 1
+        assert keep.pending
+
+    def test_peek_time_skips_cancelled(self):
+        sched = EventScheduler()
+        first = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sched.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventScheduler().peek_time() is None
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_horizon(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, 1)
+        sched.schedule(5.0, fired.append, 5)
+        sched.run_until(3.0)
+        assert fired == [1]
+        assert sched.now == 3.0
+
+    def test_run_until_leaves_future_events_pending(self):
+        sched = EventScheduler()
+        sched.schedule(5.0, lambda: None)
+        sched.run_until(3.0)
+        assert sched.pending_count() == 1
+
+    def test_run_until_can_continue(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, 1)
+        sched.schedule(5.0, fired.append, 5)
+        sched.run_until(3.0)
+        sched.run_until(10.0)
+        assert fired == [1, 5]
+
+    def test_run_until_past_horizon_rejected(self):
+        sched = EventScheduler()
+        sched.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sched.run_until(3.0)
+
+    def test_event_at_horizon_fires(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(3.0, fired.append, 3)
+        sched.run_until(3.0)
+        assert fired == [3]
+
+    def test_stop_interrupts_run(self):
+        sched = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append(1)
+            sched.stop()
+
+        sched.schedule(1.0, first)
+        sched.schedule(2.0, fired.append, 2)
+        sched.run()
+        assert fired == [1]
+        # The second event is still pending and can run later.
+        sched.run()
+        assert fired == [1, 2]
+
+
+class TestAccounting:
+    def test_events_processed_counter(self):
+        sched = EventScheduler()
+        for i in range(5):
+            sched.schedule(float(i), lambda: None)
+        sched.run()
+        assert sched.events_processed == 5
+
+    def test_step_returns_false_when_drained(self):
+        sched = EventScheduler()
+        assert sched.step() is False
+
+    def test_step_fires_single_event(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, 1)
+        sched.schedule(2.0, fired.append, 2)
+        assert sched.step() is True
+        assert fired == [1]
