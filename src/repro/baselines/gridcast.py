@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from random import Random
-from typing import Dict, List, Set
+from typing import Dict, Set
 
 from repro.baselines.protocol import VodProtocol
 from repro.net.message import LookupResult

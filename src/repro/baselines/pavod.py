@@ -15,8 +15,6 @@ maintenance (nodes keep no standing links).
 from __future__ import annotations
 
 from random import Random
-from typing import List
-
 from repro.baselines.protocol import VodProtocol
 from repro.net.message import LookupResult
 from repro.net.server import CentralServer

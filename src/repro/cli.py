@@ -6,6 +6,7 @@ Commands
 ``compare``    run the three protocols and print the comparison
 ``figures``    regenerate the Section V figures (15-18 + Table I)
 ``planetlab``  run the emulated PlanetLab testbed comparison
+``lint``       determinism/invariant static analysis over the source tree
 """
 
 from __future__ import annotations
@@ -91,6 +92,17 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.ast_rules import RULE_DESCRIPTIONS
+    from repro.lint.runner import run_lint
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_DESCRIPTIONS):
+            print(f"{rule_id}: {RULE_DESCRIPTIONS[rule_id]}")
+        return 0
+    return run_lint(paths=args.paths or None, output_format=args.format)
+
+
 def _cmd_planetlab(args: argparse.Namespace) -> int:
     testbed = PlanetLabTestbed()
     for name in ("pavod", "nettube", "socialtube"):
@@ -122,6 +134,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_pl = sub.add_parser("planetlab", help="emulated PlanetLab comparison")
     p_pl.set_defaults(func=_cmd_planetlab)
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism & overlay-invariant static analysis"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print every rule id and exit"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_export = sub.add_parser("export", help="export all figures as CSV/JSON")
     p_export.add_argument("--outdir", default="figures_out")

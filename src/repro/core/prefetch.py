@@ -11,7 +11,7 @@ single prefetch in a 25-video channel and 54.6% for 3-4 prefetches (see
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import List, Set
 
 from repro.net.server import CentralServer
 from repro.trace.dataset import TraceDataset

@@ -18,9 +18,9 @@ Algorithm 1 (per node ``u_i`` requesting video ``v_i``)::
 from __future__ import annotations
 
 from random import Random
-from typing import List, Optional
+from typing import List
 
-from repro.baselines.protocol import PeerState, VodProtocol
+from repro.baselines.protocol import VodProtocol
 from repro.core.prefetch import ChannelPrefetcher
 from repro.core.structure import HierarchicalStructure
 from repro.net.message import ChunkSource, LookupResult

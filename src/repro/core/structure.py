@@ -225,6 +225,32 @@ class HierarchicalStructure:
         self.inner.disconnect(node_id, neighbor_id)
         self.inter.disconnect(node_id, neighbor_id)
 
+    # -- invariants --------------------------------------------------------------
+
+    def check_invariants(self) -> List["InvariantViolation"]:
+        """Validate the paper's structural invariants on the live overlay.
+
+        Delegates to :func:`repro.lint.invariants.check_overlay`:
+        ``N_l``/``N_h`` capacity bounds, link symmetry, no self-links,
+        and no links held by or pointing at departed nodes.  Returns the
+        violations (empty on a healthy structure); see
+        :func:`repro.lint.invariants.install_invariant_hook` for the
+        periodic in-sim variant that fails fast.
+        """
+        # Imported here so the core layer has no import-time dependency
+        # on the lint tooling.
+        from repro.lint.invariants import InvariantViolation, check_overlay
+
+        return check_overlay(self)
+
+    def assert_invariants(self) -> None:
+        """Raise :class:`OverlayInvariantError` if any invariant is broken."""
+        from repro.lint.invariants import OverlayInvariantError
+
+        violations = self.check_invariants()
+        if violations:
+            raise OverlayInvariantError(violations)
+
     # -- internals ----------------------------------------------------------------------
 
     def _register(self, node_id: int, channel_id: int) -> None:

@@ -1,0 +1,59 @@
+"""Determinism and overlay-invariant static analysis.
+
+Two layers keep the reproduction's repeatability claim honest:
+
+* :mod:`repro.lint.ast_rules` + :mod:`repro.lint.runner` -- an AST rule
+  engine over the source tree (module-global randomness, wall-clock
+  reads, hash-order set iteration, unused imports, dead names, broad
+  excepts, float time equality), with per-line
+  ``# lint: disable=<rule>`` suppression.
+* :mod:`repro.lint.invariants` -- runtime checks of the two-level
+  overlay's structural invariants (``N_l``/``N_h`` capacity bounds,
+  link symmetry, no self-links, no dangling links to departed nodes),
+  callable from tests and as a periodic in-sim hook.
+
+CLI: ``python -m repro lint [--format json] [paths...]`` exits non-zero
+when any finding survives suppression; ``tests/test_lint_clean.py``
+enforces the clean state in tier-1.
+"""
+
+from repro.lint.ast_rules import ALL_AST_RULES, RULE_DESCRIPTIONS, collect_findings
+from repro.lint.findings import Finding, RuleContext
+from repro.lint.invariants import (
+    InvariantHook,
+    InvariantViolation,
+    OverlayInvariantError,
+    check_link_table,
+    check_overlay,
+    install_invariant_hook,
+)
+from repro.lint.runner import (
+    LintReport,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.lint.suppressions import SuppressionIndex
+
+__all__ = [
+    "ALL_AST_RULES",
+    "RULE_DESCRIPTIONS",
+    "collect_findings",
+    "Finding",
+    "RuleContext",
+    "InvariantHook",
+    "InvariantViolation",
+    "OverlayInvariantError",
+    "check_link_table",
+    "check_overlay",
+    "install_invariant_hook",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "SuppressionIndex",
+]

@@ -1,0 +1,651 @@
+"""AST determinism rules for the reproduction's source tree.
+
+The headline claim of the harness is bit-for-bit repeatability from a
+single seed (see :mod:`repro.sim.rng`); these rules mechanically reject
+the ways that claim silently breaks:
+
+``global-random``
+    ``random.random()``, ``random.seed()``, ``numpy.random.*`` and
+    friends draw from hidden module-global state that any import can
+    perturb.  All randomness must flow through :class:`RngStreams` or an
+    injected :class:`random.Random`.  :mod:`repro.sim.rng` itself is
+    exempt -- it is the sanctioned wrapper.
+``wall-clock``
+    ``time.time()``, ``datetime.now()`` etc. make results depend on the
+    machine's clock.  Simulated time comes only from
+    ``EventScheduler.now``.
+``set-iteration``
+    Iterating a ``set``/``frozenset`` (or feeding one to ``list``,
+    ``enumerate``, ``rng.choice``...) yields hash-order, which varies
+    across runs and interpreter versions; wrap in ``sorted(...)``.
+``unused-import``
+    Dead imports hide real dependencies and rot silently.
+``dead-name``
+    A local assigned a side-effect-free value and never read is dead
+    code (often a refactor leftover).
+``broad-except``
+    ``except Exception`` / bare ``except`` inside event callbacks
+    swallows simulation bugs and lets runs diverge silently; catch the
+    specific exception or re-raise.
+``float-time-eq``
+    ``==`` between floats derived from simulated time (``sched.now``,
+    fire times) is brittle under accumulation order; compare with a
+    tolerance or restructure around event ordering.
+
+Each rule emits :class:`repro.lint.findings.Finding` rows; a finding is
+silenced for one line with ``# lint: disable=<rule-id>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding, RuleContext
+
+# ---------------------------------------------------------------------------
+# shared helpers
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _walk_skipping_nested_functions(node: ast.AST) -> Iterable[ast.AST]:
+    """Yield ``node``'s subtree but stop at nested function boundaries."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class Rule:
+    """Base class: one rule id, one ``check`` pass over a module tree."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: RuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+# ---------------------------------------------------------------------------
+# (a) module-global randomness
+
+
+#: ``from random import X`` bindings that are safe: classes producing an
+#: *owned* generator, not draws from the hidden module-global instance.
+_SAFE_RANDOM_NAMES = {"Random"}
+
+#: ``numpy.random`` attributes that construct independent generators
+#: rather than touching the legacy global state.
+_SAFE_NUMPY_RANDOM = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+class GlobalRandomRule(Rule):
+    rule_id = "global-random"
+    description = (
+        "module-global random state (random.*, numpy.random.*) outside sim/rng.py; "
+        "use RngStreams or an injected random.Random"
+    )
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        if ctx.is_rng_module:
+            return []
+        findings: List[Finding] = []
+        # alias -> canonical module ("random" | "numpy.random" | "numpy")
+        module_aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        module_aliases[alias.asname or "random"] = "random"
+                    elif alias.name == "numpy":
+                        module_aliases[alias.asname or "numpy"] = "numpy"
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            module_aliases[alias.asname] = "numpy.random"
+                        else:
+                            module_aliases["numpy"] = "numpy"
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _SAFE_RANDOM_NAMES:
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    f"'from random import {alias.name}' binds the "
+                                    "module-global RNG; inject a random.Random "
+                                    "(from repro.sim.rng.RngStreams) instead",
+                                )
+                            )
+                elif node.module in ("numpy", "numpy.random"):
+                    for alias in node.names:
+                        if node.module == "numpy" and alias.name == "random":
+                            module_aliases[alias.asname or "random"] = "numpy.random"
+                        elif (
+                            node.module == "numpy.random"
+                            and alias.name not in _SAFE_NUMPY_RANDOM
+                        ):
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    f"'from numpy.random import {alias.name}' draws from "
+                                    "numpy's global state; use default_rng(seed)",
+                                )
+                            )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = _dotted_name(node)
+            if dotted is None:
+                continue
+            root, _, rest = dotted.partition(".")
+            canonical = module_aliases.get(root)
+            if canonical is None:
+                continue
+            full = canonical + "." + rest if rest else canonical
+            if full.startswith("random."):
+                attr = full.split(".", 1)[1]
+                if "." not in attr and attr not in _SAFE_RANDOM_NAMES:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"'random.{attr}' uses the module-global RNG; route "
+                            "randomness through RngStreams or an injected Random",
+                        )
+                    )
+            elif full.startswith("numpy.random."):
+                attr = full.split(".", 2)[2]
+                if "." not in attr and attr not in _SAFE_NUMPY_RANDOM:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"'numpy.random.{attr}' uses numpy's global RNG state; "
+                            "use numpy.random.default_rng(seed)",
+                        )
+                    )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# (b) wall-clock time
+
+
+_WALL_CLOCK_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "localtime",
+    "gmtime",
+    "ctime",
+    "sleep",
+}
+
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    description = (
+        "wall-clock access (time.time, datetime.now, ...); simulated time "
+        "comes only from EventScheduler.now"
+    )
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        time_aliases: Set[str] = set()
+        datetime_mod_aliases: Set[str] = set()
+        datetime_cls_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        datetime_mod_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    f"'from time import {alias.name}' reads the wall "
+                                    "clock; use EventScheduler.now for simulated time",
+                                )
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_cls_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            root, rest = dotted.split(".", 1)
+            if root in time_aliases and rest in _WALL_CLOCK_TIME_ATTRS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"'{dotted}()' reads the wall clock; simulated time comes "
+                        "only from EventScheduler.now",
+                    )
+                )
+            elif root in datetime_mod_aliases and rest in (
+                "datetime.now",
+                "datetime.utcnow",
+                "datetime.today",
+                "date.today",
+            ):
+                findings.append(
+                    self.finding(
+                        ctx, node, f"'{dotted}()' reads the wall clock"
+                    )
+                )
+            elif (
+                root in datetime_cls_aliases
+                and "." not in rest
+                and rest in _WALL_CLOCK_DATETIME_ATTRS
+            ):
+                findings.append(
+                    self.finding(
+                        ctx, node, f"'{dotted}()' reads the wall clock"
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# (c) hash-order iteration over sets
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+#: Calls whose argument order the caller observes (order-sensitive sinks).
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+#: RNG methods whose outcome depends on the order of the passed sequence.
+_ORDER_SENSITIVE_METHODS = {"choice", "choices", "sample", "shuffle"}
+
+
+class SetIterationRule(Rule):
+    rule_id = "set-iteration"
+    description = (
+        "iteration over a set/frozenset feeds hash-order into downstream "
+        "logic; wrap in sorted(...) for a deterministic sequence"
+    )
+
+    def _msg(self, how: str) -> str:
+        return (
+            f"set/frozenset {how} exposes nondeterministic hash order; "
+            "wrap the set in sorted(...)"
+        )
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expression(node.iter):
+                    findings.append(
+                        self.finding(ctx, node.iter, self._msg("iterated by a for loop"))
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                generator.iter,
+                                self._msg("iterated by a comprehension"),
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_BUILTINS
+                    and node.args
+                    and _is_set_expression(node.args[0])
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.args[0],
+                            self._msg(f"passed to {node.func.id}()"),
+                        )
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ORDER_SENSITIVE_METHODS
+                    and node.args
+                    and _is_set_expression(node.args[0])
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.args[0],
+                            self._msg(f"passed to .{node.func.attr}()"),
+                        )
+                    )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# (d) unused imports and dead names
+
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _annotation_string_names(tree: ast.Module) -> Set[str]:
+    """Identifiers inside *quoted* annotations (forward references)."""
+    names: Set[str] = set()
+    annotation_roots: List[ast.AST] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                annotation_roots.append(node.returns)
+            for arg in (
+                list(node.args.posonlyargs)
+                + list(node.args.args)
+                + list(node.args.kwonlyargs)
+                + [node.args.vararg, node.args.kwarg]
+            ):
+                if arg is not None and arg.annotation is not None:
+                    annotation_roots.append(arg.annotation)
+        elif isinstance(node, ast.AnnAssign):
+            annotation_roots.append(node.annotation)
+    for root in annotation_roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                names.update(_IDENTIFIER_RE.findall(node.value))
+    return names
+
+
+class UnusedImportRule(Rule):
+    rule_id = "unused-import"
+    description = "imported name is never used in the module"
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        bindings: List[Tuple[str, str, ast.AST]] = []  # (bound name, source, node)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    bindings.append((bound, alias.name, node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    source = f"{'.' * node.level}{node.module or ''}.{alias.name}"
+                    bindings.append((bound, source, node))
+        if not bindings:
+            return []
+        used: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Load, ast.Del)
+            ):
+                used.add(node.id)
+        used |= _annotation_string_names(tree)
+        used |= set(ctx.exported_names)
+        findings = []
+        # Imports in a package __init__ are re-exports only when listed in
+        # __all__, and exported_names already counts those as uses, so the
+        # same unused test applies there too.
+        for bound, source, node in bindings:
+            if bound in used:
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"'{bound}' (imported from {source.rstrip('.')}) is never used",
+                )
+            )
+        return findings
+
+
+def _is_pure_expression(node: ast.AST) -> bool:
+    """Expressions whose evaluation cannot have observable side effects."""
+    if isinstance(node, (ast.Constant, ast.Name)):
+        return True
+    if isinstance(node, ast.Attribute):
+        return _is_pure_expression(node.value)
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return all(_is_pure_expression(e) for e in node.elts)
+    if isinstance(node, ast.Dict):
+        return all(
+            k is not None and _is_pure_expression(k) and _is_pure_expression(v)
+            for k, v in zip(node.keys, node.values)
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_pure_expression(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_pure_expression(node.left) and _is_pure_expression(node.right)
+    if isinstance(node, ast.BoolOp):
+        return all(_is_pure_expression(v) for v in node.values)
+    if isinstance(node, ast.Compare):
+        return _is_pure_expression(node.left) and all(
+            _is_pure_expression(c) for c in node.comparators
+        )
+    return False
+
+
+class DeadNameRule(Rule):
+    rule_id = "dead-name"
+    description = (
+        "local name assigned a side-effect-free value and never read "
+        "(dead code; prefix with '_' if intentional)"
+    )
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            loads: Set[str] = set()
+            stores: List[Tuple[str, ast.AST]] = []
+            for node in ast.walk(func):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Load, ast.Del)
+                ):
+                    loads.add(node.id)
+            for node in _walk_skipping_nested_functions(func):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and not node.targets[0].id.startswith("_")
+                    and _is_pure_expression(node.value)
+                ):
+                    stores.append((node.targets[0].id, node))
+            reported: Set[str] = set()
+            for name, node in stores:
+                if name in loads or name in reported:
+                    continue
+                reported.add(name)
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"local '{name}' is assigned but never used in "
+                        f"'{func.name}'",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# (e) exception swallowing
+
+
+class BroadExceptRule(Rule):
+    rule_id = "broad-except"
+    description = (
+        "bare 'except' / 'except Exception' swallows simulation bugs "
+        "inside event callbacks; catch the specific exception or re-raise"
+    )
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+            )
+            if not broad:
+                continue
+            # A handler that re-raises (bare `raise` at its top level)
+            # observes but does not swallow -- allowed.
+            if any(
+                isinstance(stmt, ast.Raise) and stmt.exc is None
+                for stmt in node.body
+            ):
+                continue
+            label = "bare except" if node.type is None else f"except {node.type.id}"
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"'{label}' swallows errors (deadly inside event callbacks); "
+                    "catch a specific exception or re-raise",
+                )
+            )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# (f) float equality against simulated time
+
+
+_SIM_TIME_ATTRS = {"now", "_now", "sim_time", "fire_time"}
+_SIM_TIME_NAMES = {"now", "sim_time", "fire_time", "sim_now"}
+
+
+def _is_sim_time_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SIM_TIME_ATTRS
+    if isinstance(node, ast.Name):
+        return node.id in _SIM_TIME_NAMES
+    return False
+
+
+class FloatTimeEqRule(Rule):
+    rule_id = "float-time-eq"
+    description = (
+        "float == / != against a simulated-time expression; use ordering "
+        "comparisons or an explicit tolerance"
+    )
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # `x == None`-style comparisons are a different defect;
+                # only float-float time comparisons concern this rule.
+                if any(
+                    isinstance(o, ast.Constant) and o.value is None
+                    for o in (left, right)
+                ):
+                    continue
+                if _is_sim_time_expr(left) or _is_sim_time_expr(right):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "'==' against a simulated-time float is brittle "
+                            "(accumulation order); compare with a tolerance "
+                            "or use <=/>= event ordering",
+                        )
+                    )
+                    break
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+ALL_AST_RULES: Tuple[Rule, ...] = (
+    GlobalRandomRule(),
+    WallClockRule(),
+    SetIterationRule(),
+    UnusedImportRule(),
+    DeadNameRule(),
+    BroadExceptRule(),
+    FloatTimeEqRule(),
+)
+
+#: rule id -> human description, for docs and the CLI `--list-rules` view.
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    rule.rule_id: rule.description for rule in ALL_AST_RULES
+}
+
+
+def collect_findings(tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+    """Run every AST rule over one parsed module."""
+    findings: List[Finding] = []
+    for rule in ALL_AST_RULES:
+        findings.extend(rule.check(tree, ctx))
+    return findings

@@ -1,0 +1,53 @@
+"""Structured lint findings.
+
+Every rule -- AST-based or runtime -- reports through :class:`Finding`
+so that the text and JSON renderers, the CLI exit code, and the tier-1
+clean-tree test all consume one shape.  Findings sort by (path, line,
+column, rule) so reports are stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: rule-id: message`` -- the text-format row."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class RuleContext:
+    """Per-file information the AST rules need beyond the tree itself.
+
+    ``is_rng_module`` exempts :mod:`repro.sim.rng` from the
+    global-random rule: that module is the one sanctioned home of the
+    ``random`` module (it wraps it behind :class:`RngStreams`).
+    """
+
+    path: str
+    source: str
+    is_rng_module: bool = False
+    is_package_init: bool = False
+    #: Names exported via ``__all__`` (count as uses for unused-import).
+    exported_names: frozenset = field(default_factory=frozenset)

@@ -1,0 +1,191 @@
+"""The lint driver: walk files, run rules, filter suppressions, render.
+
+``lint_paths`` is the programmatic entry (used by the tier-1 clean-tree
+test); ``main`` backs ``python -m repro lint``.  Output is stable: files
+are visited in sorted order and findings sort by location, so two runs
+over the same tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.ast_rules import collect_findings
+from repro.lint.findings import Finding, RuleContext
+from repro.lint.suppressions import SuppressionIndex
+
+
+def default_lint_root() -> str:
+    """The ``src/repro`` package directory of this installation."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Count of findings silenced by ``# lint: disable`` comments.
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _extract_exports(tree: ast.Module) -> frozenset:
+    """String entries of a module-level ``__all__`` list/tuple."""
+    names: List[str] = []
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    names.append(element.value)
+    return frozenset(names)
+
+
+def _is_rng_module(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return normalized.endswith("sim/rng.py")
+
+
+def _lint_module(source: str, path: str) -> "tuple[List[Finding], int]":
+    """(surviving findings, suppressed count) for one module's source."""
+    tree = ast.parse(source, filename=path)
+    ctx = RuleContext(
+        path=path,
+        source=source,
+        is_rng_module=_is_rng_module(path),
+        is_package_init=os.path.basename(path) == "__init__.py",
+        exported_names=_extract_exports(tree),
+    )
+    suppressions = SuppressionIndex.from_source(source)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in collect_findings(tree, ctx):
+        if suppressions.is_suppressed(finding.line, finding.rule):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    for lineno in suppressions.malformed_lines:
+        kept.append(
+            Finding(
+                path=path,
+                line=lineno,
+                col=0,
+                rule="bad-suppression",
+                message="'# lint: disable=' names no rules; list rule ids or 'all'",
+            )
+        )
+    return sorted(kept), suppressed
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; raises SyntaxError on a bad parse."""
+    findings, _suppressed = _lint_module(source, path)
+    return findings
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+def lint_paths(paths: Sequence[str]) -> LintReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    report = LintReport()
+    for filepath in _iter_python_files(paths):
+        try:
+            with open(filepath, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.findings.append(
+                Finding(
+                    path=filepath,
+                    line=1,
+                    col=0,
+                    rule="io-error",
+                    message=f"cannot read file: {exc.strerror or exc}",
+                )
+            )
+            continue
+        report.files_checked += 1
+        try:
+            findings, suppressed = _lint_module(source, path=filepath)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    path=filepath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="syntax-error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        report.suppressed += suppressed
+        report.findings.extend(findings)
+    report.findings.sort()
+    return report
+
+
+def render_text(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_checked} file(s)"
+        + (f", {report.suppressed} suppressed" if report.suppressed else "")
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None, output_format: str = "text"
+) -> int:
+    """Lint and print; the ``python -m repro lint`` backend.
+
+    Returns the process exit code: 0 on a clean tree, 1 when any
+    finding survives suppression.
+    """
+    if output_format not in ("text", "json"):
+        raise ValueError(f"unknown lint output format {output_format!r}")
+    report = lint_paths(list(paths) if paths else [default_lint_root()])
+    print(render_json(report) if output_format == "json" else render_text(report))
+    return 0 if report.ok else 1

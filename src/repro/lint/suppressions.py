@@ -1,0 +1,71 @@
+"""Per-line lint suppression: ``# lint: disable=<rule>[,<rule>...]``.
+
+A suppression comment silences the named rules *on its own line only*
+(matching how the findings carry line numbers); ``disable=all`` silences
+every rule on the line.  Unknown rule ids in a comment are tolerated --
+they may belong to a rule added later -- but an empty ``disable=`` list
+is itself reported by the runner as a ``bad-suppression`` finding so
+typos do not silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+#: Matches the suppression marker inside a comment token.  Only real
+#: COMMENT tokens are scanned (via ``tokenize``), so prose *describing*
+#: the syntax inside a docstring does not register as a suppression.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\-\s]*)")
+
+#: The wildcard that silences every rule on the line.
+ALL_RULES = "all"
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
+    """(line, text) for every comment token; bad syntax yields nothing
+    (the runner reports unparseable files separately)."""
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+class SuppressionIndex:
+    """Per-line map of suppressed rule ids for one source file."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]], malformed: List[int]):
+        self._by_line = by_line
+        #: 1-based lines whose ``disable=`` list parsed to nothing.
+        self.malformed_lines = malformed
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        by_line: Dict[int, FrozenSet[str]] = {}
+        malformed: List[int] = []
+        for lineno, text in _comment_tokens(source):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            )
+            if not rules:
+                malformed.append(lineno)
+                continue
+            by_line[lineno] = rules
+        return cls(by_line, malformed)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return rule in rules or ALL_RULES in rules
+
+    def suppressed_lines(self) -> List[Tuple[int, FrozenSet[str]]]:
+        """(line, rules) pairs, for diagnostics."""
+        return sorted(self._by_line.items())

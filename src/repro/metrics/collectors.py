@@ -18,8 +18,8 @@ Definitions follow Section V verbatim:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.analysis.stats import mean, percentile
 from repro.net.message import ChunkSource

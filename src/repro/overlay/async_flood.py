@@ -17,7 +17,7 @@ simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.net.latency import LatencyModel
 from repro.overlay.flood import FloodResult

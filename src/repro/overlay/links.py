@@ -110,6 +110,14 @@ class LinkTable:
             self._table[node_id] = links
         return links
 
+    def nodes(self) -> List[int]:
+        """Every node id with a registered link set, in sorted order.
+
+        Sorted so that whole-table sweeps (metrics, invariant checks)
+        visit nodes in a deterministic order.
+        """
+        return sorted(self._table)
+
     def degree(self, node_id: int) -> int:
         links = self._table.get(node_id)
         return len(links) if links is not None else 0

@@ -12,6 +12,12 @@ jumps from event to event.  Determinism matters for a reproduction, so
 Cancellation is O(1): events carry a ``cancelled`` flag and are skipped
 lazily when popped, which is the standard approach for simulators with
 many speculative timers (e.g. neighbor probes that are rescheduled).
+To keep lazy cancellation honest under heavy rescheduling the heap is
+*compacted* -- rebuilt without cancelled entries -- whenever cancelled
+events outnumber live ones, so memory stays proportional to the number
+of pending events rather than the number ever cancelled.  Compaction
+preserves each entry's ``(fire_time, sequence)`` key, so FIFO ordering
+among simultaneous events is unaffected.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ class Event:
     cancelled before they fire.  An event fires at most once.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "fired")
+    __slots__ = ("time", "fn", "args", "cancelled", "fired", "_scheduler")
 
     def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
         self.time = time
@@ -43,10 +49,17 @@ class Event:
         self.args = args
         self.cancelled = False
         self.fired = False
+        #: Set by the scheduler that owns the event so ``cancel`` can
+        #: update its live pending/cancelled accounting.
+        self._scheduler: Optional["EventScheduler"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; safe after firing."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -80,6 +93,12 @@ class EventScheduler:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Live count of not-yet-cancelled, not-yet-fired events.
+        self._pending = 0
+        #: Cancelled events still occupying heap slots (lazy removal).
+        self._cancelled_in_heap = 0
+        #: Number of times the heap was rebuilt to shed cancelled entries.
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -103,9 +122,32 @@ class EventScheduler:
                 f"cannot schedule at t={time!r}, clock already at t={self._now!r}"
             )
         event = Event(float(time), fn, args)
+        event._scheduler = self
         self._seq += 1
         heapq.heappush(self._heap, (event.time, self._seq, event))
+        self._pending += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; keeps counters live and
+        compacts the heap once cancelled entries outnumber pending ones."""
+        self._pending -= 1
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Entries keep their original ``(fire_time, sequence)`` keys, so
+        relative ordering -- including FIFO among ties -- is preserved.
+        O(pending), amortised O(1) per cancellation since compaction
+        only triggers when at least half the heap is dead weight.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
 
     def stop(self) -> None:
         """Stop a running :meth:`run_until` / :meth:`run` loop after the
@@ -118,13 +160,14 @@ class EventScheduler:
             time, _seq, event = self._heap[0]
             if event.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled_in_heap -= 1
                 continue
             return time
         return None
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for _t, _s, e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still in the heap.  O(1)."""
+        return self._pending
 
     def step(self) -> bool:
         """Fire the single next pending event.
@@ -134,9 +177,11 @@ class EventScheduler:
         while self._heap:
             _time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
             event.fired = True
+            self._pending -= 1
             self.events_processed += 1
             event.fn(*event.args)
             return True

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, Sequence, Set
 
 from repro.trace.entities import Category, Channel, User, Video
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.trace.dataset import TraceDataset
 from repro.trace.distributions import DiscreteSampler

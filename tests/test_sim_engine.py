@@ -61,6 +61,28 @@ class TestOrdering:
         sched.run()
         assert order == list(range(10))
 
+    def test_ties_stay_fifo_across_cancellations_and_compaction(self):
+        # Compaction rebuilds the heap; surviving simultaneous events
+        # must still fire in their original scheduling order.
+        sched = EventScheduler()
+        order = []
+        events = [sched.schedule(1.0, order.append, i) for i in range(20)]
+        for i in range(12):  # more than half dead -> triggers compaction
+            events[i].cancel()
+        assert sched.compactions >= 1
+        sched.run()
+        assert order == list(range(12, 20))
+
+    def test_ties_fifo_interleaved_with_later_times(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule(5.0, order.append, "late-a")
+        sched.schedule(1.0, order.append, "tie-1")
+        sched.schedule(5.0, order.append, "late-b")
+        sched.schedule(1.0, order.append, "tie-2")
+        sched.run()
+        assert order == ["tie-1", "tie-2", "late-a", "late-b"]
+
     def test_clock_advances_to_event_time(self):
         sched = EventScheduler()
         seen = []
@@ -112,8 +134,27 @@ class TestCancellation:
         first.cancel()
         assert sched.peek_time() == 2.0
 
+    def test_peek_time_pops_cancelled_entries_lazily(self):
+        sched = EventScheduler()
+        doomed = [sched.schedule(float(i), lambda: None) for i in range(1, 4)]
+        sched.schedule(10.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        # Compaction (triggered at >50% dead weight) plus peek's lazy
+        # pops must leave only the live entry at the heap head.
+        assert sched.peek_time() == 10.0
+        assert len(sched._heap) == 1
+
     def test_peek_time_empty(self):
         assert EventScheduler().peek_time() is None
+
+    def test_cancel_after_fire_is_noop(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        sched.run()
+        event.cancel()
+        assert event.fired and not event.cancelled
+        assert sched.pending_count() == 0
 
 
 class TestRunUntil:
@@ -169,6 +210,80 @@ class TestRunUntil:
         # The second event is still pending and can run later.
         sched.run()
         assert fired == [1, 2]
+
+    def test_stop_mid_run_until_leaves_clock_at_last_event(self):
+        # A stopped run must NOT advance the clock to the horizon:
+        # resuming later has to continue from the interruption point.
+        sched = EventScheduler()
+        fired = []
+
+        def interrupt():
+            fired.append(sched.now)
+            sched.stop()
+
+        sched.schedule(3.0, interrupt)
+        sched.schedule(7.0, fired.append, 7.0)
+        sched.run_until(100.0)
+        assert fired == [3.0]
+        assert sched.now == 3.0
+        # Resuming picks up the remaining event and then reaches the horizon.
+        sched.run_until(100.0)
+        assert fired == [3.0, 7.0]
+        assert sched.now == 100.0
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_shrinks_heap(self):
+        sched = EventScheduler()
+        events = [sched.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for event in events[:60]:
+            event.cancel()
+        # Lazy cancellation must not let dead entries accumulate: after
+        # cancelling 60 of 100, at most half the heap may be dead weight.
+        assert sched.pending_count() == 40
+        assert len(sched._heap) <= 80
+        assert sched.compactions >= 1
+
+    def test_compaction_preserves_event_order(self):
+        sched = EventScheduler()
+        order = []
+        keep = []
+        for i in range(30):
+            event = sched.schedule(float(30 - i), order.append, 30 - i)
+            if i % 3 != 0:
+                keep.append(30 - i)
+            else:
+                event.cancel()
+        sched.run()
+        assert order == sorted(keep)
+
+    def test_pending_count_is_live_counter(self):
+        sched = EventScheduler()
+        assert sched.pending_count() == 0
+        events = [sched.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sched.pending_count() == 10
+        events[0].cancel()
+        events[0].cancel()  # idempotent: must not double-decrement
+        assert sched.pending_count() == 9
+        sched.step()  # fires the event at t=2.0
+        assert sched.pending_count() == 8
+        sched.run()
+        assert sched.pending_count() == 0
+
+    def test_counter_consistent_under_churn(self):
+        # Repeated schedule/cancel cycles (probe rescheduling pattern):
+        # the counter must track the brute-force count exactly and the
+        # heap must stay bounded by twice the live events.
+        sched = EventScheduler()
+        live = []
+        for round_number in range(50):
+            for _ in range(10):
+                live.append(sched.schedule(float(round_number + 1), lambda: None))
+            for _ in range(8):
+                live.pop(0).cancel()
+        brute_force = sum(1 for _t, _s, e in sched._heap if e.pending)
+        assert sched.pending_count() == brute_force == len(live)
+        assert len(sched._heap) <= 2 * sched.pending_count() + 1
 
 
 class TestAccounting:
