@@ -9,8 +9,10 @@ show up as timing changes.
 import pytest
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import ExperimentRunner
-from repro.trace.synthesizer import TraceConfig, TraceSynthesizer
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.trace_cache import shared_trace_cache
+from repro.trace.synthesizer import TraceConfig
 
 MICRO = SimulationConfig(
     num_nodes=100,
@@ -22,15 +24,10 @@ MICRO = SimulationConfig(
     seed=41,
 )
 
-_dataset = None
-
 
 def _run(protocol_name):
-    global _dataset
-    if _dataset is None:
-        _dataset = TraceSynthesizer(MICRO.trace).synthesize()
-    runner = ExperimentRunner(MICRO, protocol_name=protocol_name, dataset=_dataset)
-    return runner.run()
+    spec = ExperimentSpec(protocol=protocol_name, config=MICRO)
+    return run_spec(spec, dataset=shared_trace_cache.dataset_for(MICRO.trace))
 
 
 @pytest.mark.parametrize("protocol", ["pavod", "nettube", "socialtube"])

@@ -12,8 +12,7 @@ Run:  python examples/prefetch_tuning.py
 """
 
 from repro.core.model import prefetch_accuracy
-from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments import ExperimentSpec, SimulationConfig, run_spec
 
 
 def main() -> None:
@@ -27,7 +26,7 @@ def main() -> None:
         config = SimulationConfig.smoke_scale(seed=5)
         config.prefetch_window = window
         config.enable_prefetch = window > 0
-        result = run_experiment("socialtube", config=config)
+        result = run_spec(ExperimentSpec(protocol="socialtube", config=config))
         metrics = result.metrics
         print(
             f"{window:>3} {result.prefetch_hit_rate:>9.3f} "

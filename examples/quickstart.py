@@ -9,8 +9,7 @@ overhead).
 Run:  python examples/quickstart.py
 """
 
-from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments import ExperimentSpec, SimulationConfig, run_spec
 
 
 def main() -> None:
@@ -20,7 +19,7 @@ def main() -> None:
         f"{config.trace.num_channels} channels, {config.trace.num_videos} videos, "
         f"{config.sessions_per_user} sessions x {config.videos_per_session} videos"
     )
-    result = run_experiment("socialtube", config=config)
+    result = run_spec(ExperimentSpec(protocol="socialtube", config=config))
     print()
     print("\n".join(result.render_rows()))
     print()

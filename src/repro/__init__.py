@@ -10,11 +10,26 @@ that regenerates every table and figure of the paper.
 
 Quickstart::
 
-    from repro.experiments.runner import run_experiment
-    from repro.experiments.config import SimulationConfig
+    from repro.experiments import ExperimentSpec, SimulationConfig, run_spec
 
-    result = run_experiment("socialtube", config=SimulationConfig.smoke_scale())
+    spec = ExperimentSpec(
+        protocol="socialtube", config=SimulationConfig.smoke_scale()
+    )
+    result = run_spec(spec)
     print("\n".join(result.render_rows()))
+
+Multi-seed sweeps with confidence intervals fan out across processes::
+
+    from repro.experiments import aggregate_sweep, run_sweep, sweep_specs
+
+    specs = sweep_specs(
+        ["socialtube", "nettube"],
+        SimulationConfig.smoke_scale(),
+        seeds=[1, 2, 3],
+    )
+    results = run_sweep(specs, jobs=4)   # byte-identical to jobs=1
+    for aggregate in aggregate_sweep(specs, results):
+        print("\n".join(aggregate.render_rows()))
 """
 
 __version__ = "1.0.0"

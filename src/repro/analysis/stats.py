@@ -90,6 +90,49 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
+#: Two-sided 95% Student-t critical values, indexed by degrees of
+#: freedom 1..30; beyond 30 the normal approximation (1.960) is used.
+#: Hardcoded so the harness stays scipy-free and bit-stable.
+_T_CRITICAL_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; 0.0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """``(mean, low, high)`` of a two-sided Student-t CI over the mean.
+
+    This is the aggregation the multi-seed sweeps report (mean +-
+    t * s / sqrt(n) over repeated randomized trials, the CliqueStream
+    evaluation methodology).  A single observation has zero-width
+    bounds.  Only the 95% level is tabulated.
+    """
+    if not values:
+        raise ValueError("confidence interval of empty sequence")
+    if abs(confidence - 0.95) > 1e-9:
+        raise ValueError("only confidence=0.95 is supported")
+    m = mean(values)
+    n = len(values)
+    if n == 1:
+        return (m, m, m)
+    df = n - 1
+    t = _T_CRITICAL_95[df - 1] if df <= len(_T_CRITICAL_95) else 1.960
+    half = t * sample_std(values) / math.sqrt(n)
+    return (m, m - half, m + half)
+
+
 def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
     """Pearson correlation coefficient of two equal-length samples.
 

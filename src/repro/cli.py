@@ -18,11 +18,29 @@ from typing import List, Optional
 from repro.analysis.clustering import build_channel_graph
 from repro.analysis.figures import TraceAnalysis
 from repro.experiments.config import SimulationConfig
-from repro.experiments.figures import EvaluationSuite
-from repro.experiments.report import render_report, render_shape_checks, shape_checks
-from repro.experiments.runner import run_experiment
+from repro.experiments.figures import VARIANTS, EvaluationSuite
+from repro.experiments.parallel import aggregate_sweep, run_sweep, sweep_specs
+from repro.experiments.report import (
+    render_ci_table,
+    render_report,
+    render_shape_checks,
+    shape_checks,
+)
 from repro.planetlab.testbed import PlanetLabTestbed
 from repro.trace.synthesizer import TraceConfig, synthesize_trace
+
+
+def _parse_seeds(text: Optional[str]) -> Optional[List[int]]:
+    """``"1,2,3"`` -> ``[1, 2, 3]``; None/empty passes through as None."""
+    if not text:
+        return None
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"--seeds expects comma-separated integers: {exc}")
+    if not seeds:
+        raise SystemExit("--seeds expects at least one integer")
+    return seeds
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -47,24 +65,43 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if args.quick
         else SimulationConfig.default_scale(seed=args.seed)
     )
-    for name in ("pavod", "nettube", "socialtube"):
-        result = run_experiment(name, config=config)
-        print("\n".join(result.render_rows()))
-        print()
+    seeds = _parse_seeds(args.seeds)
+    specs = sweep_specs(("pavod", "nettube", "socialtube"), config, seeds=seeds)
+    results = run_sweep(specs, jobs=args.jobs)
+    if seeds and len(seeds) > 1:
+        aggregates = aggregate_sweep(specs, results)
+        for aggregate in aggregates:
+            print("\n".join(aggregate.render_rows()))
+            print()
+        print(render_ci_table(aggregates))
+    else:
+        for result in results:
+            print("\n".join(result.render_rows()))
+            print()
     return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
+    seeds = _parse_seeds(args.seeds)
     suite = EvaluationSuite(
         config=(
             SimulationConfig.smoke_scale(seed=args.seed)
             if args.quick
             else SimulationConfig.default_scale(seed=args.seed)
-        )
+        ),
+        seeds=seeds,
+        jobs=args.jobs,
     )
     environments = ("peersim",) if args.quick else ("peersim", "planetlab")
+    suite.warm(environments=environments)
     print(render_report(suite.all_figures(environments=environments)))
     print(render_shape_checks(shape_checks(suite)))
+    if seeds and len(seeds) > 1:
+        aggregates = [
+            suite.result(label, environments[0])
+            for label, _name, _overrides in VARIANTS
+        ]
+        print(render_ci_table(aggregates))
     return 0
 
 
@@ -126,10 +163,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_compare = sub.add_parser("compare", help="three-protocol comparison")
     p_compare.add_argument("--quick", action="store_true", help="tiny scale")
+    p_compare.add_argument(
+        "--seeds", default=None,
+        help="comma-separated seed list for a multi-seed sweep (e.g. 1,2,3)",
+    )
+    p_compare.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (1 = serial, the default)",
+    )
     p_compare.set_defaults(func=_cmd_compare)
 
     p_figures = sub.add_parser("figures", help="regenerate Section V figures")
     p_figures.add_argument("--quick", action="store_true", help="tiny scale")
+    p_figures.add_argument(
+        "--seeds", default=None,
+        help="comma-separated seed list for a multi-seed sweep (e.g. 1,2,3)",
+    )
+    p_figures.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (1 = serial, the default)",
+    )
     p_figures.set_defaults(func=_cmd_figures)
 
     p_pl = sub.add_parser("planetlab", help="emulated PlanetLab comparison")

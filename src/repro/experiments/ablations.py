@@ -23,9 +23,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import ExperimentRunner
-from repro.trace.dataset import TraceDataset
-from repro.trace.synthesizer import TraceSynthesizer
+from repro.experiments.parallel import run_sweep
+from repro.experiments.registry import resolve_params
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics.collectors import ExperimentMetrics
 
 
 @dataclass
@@ -81,20 +82,19 @@ class AblationResult:
         )
 
 
-def _measure(
-    config: SimulationConfig,
-    dataset: TraceDataset,
-    label: str,
-    parameters: Dict[str, float],
-    protocol_overrides: Optional[Dict] = None,
-) -> AblationPoint:
-    runner = ExperimentRunner(
-        config,
-        protocol_name="socialtube",
-        protocol_overrides=protocol_overrides or {},
-        dataset=dataset,
+def _spec_for(
+    config: SimulationConfig, protocol_overrides: Optional[Dict] = None
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol="socialtube",
+        config=config,
+        params=resolve_params("socialtube", config, protocol_overrides or None),
     )
-    metrics = runner.run().metrics
+
+
+def _point_from_metrics(
+    label: str, parameters: Dict[str, float], metrics: ExperimentMetrics
+) -> AblationPoint:
     overhead = metrics.overhead_by_video_index
     mean_links = sum(overhead.values()) / len(overhead) if overhead else 0.0
     return AblationPoint(
@@ -108,9 +108,28 @@ def _measure(
     )
 
 
+def _run_points(
+    name: str,
+    points: Sequence[Tuple[str, Dict[str, float], ExperimentSpec]],
+    jobs: int,
+) -> AblationResult:
+    """Execute a sweep's specs (fanning out when ``jobs > 1``).
+
+    Every point shares the sweep config's trace recipe, so the shared
+    cache synthesizes the corpus once for the whole sweep -- and once
+    across *all* sweeps over the same config.
+    """
+    results = run_sweep([spec for _label, _params, spec in points], jobs=jobs)
+    result = AblationResult(name=name)
+    for (label, parameters, _spec), run in zip(points, results):
+        result.points.append(_point_from_metrics(label, parameters, run.metrics))
+    return result
+
+
 def link_budget_sweep(
     config: SimulationConfig,
     budgets: Sequence[Tuple[int, int]] = ((1, 2), (3, 5), (5, 10), (8, 16), (12, 24)),
+    jobs: int = 1,
 ) -> AblationResult:
     """Sweep (N_l, N_h): availability vs maintenance overhead.
 
@@ -118,46 +137,38 @@ def link_budget_sweep(
     budgets starve the flood's reach, larger ones buy little extra
     availability while inflating the per-node link count.
     """
-    dataset = TraceSynthesizer(config.trace).synthesize()
-    result = AblationResult(name="link budget (N_l, N_h)")
+    points = []
     for inner, inter in budgets:
         point_config = dataclasses.replace(
             config, inner_links=inner, inter_links=inter
         )
-        result.points.append(
-            _measure(
-                point_config,
-                dataset,
-                label=f"N_l={inner}, N_h={inter}",
-                parameters={"inner_links": inner, "inter_links": inter},
+        points.append(
+            (
+                f"N_l={inner}, N_h={inter}",
+                {"inner_links": inner, "inter_links": inter},
+                _spec_for(point_config),
             )
         )
-    return result
+    return _run_points("link budget (N_l, N_h)", points, jobs)
 
 
 def ttl_sweep(
     config: SimulationConfig,
     ttls: Sequence[int] = (1, 2, 3, 4),
+    jobs: int = 1,
 ) -> AblationResult:
     """Sweep the search TTL: hit rate vs per-query search overhead."""
-    dataset = TraceSynthesizer(config.trace).synthesize()
-    result = AblationResult(name="search TTL")
+    points = []
     for ttl in ttls:
         point_config = dataclasses.replace(config, ttl=ttl)
-        result.points.append(
-            _measure(
-                point_config,
-                dataset,
-                label=f"TTL={ttl}",
-                parameters={"ttl": ttl},
-            )
-        )
-    return result
+        points.append((f"TTL={ttl}", {"ttl": ttl}, _spec_for(point_config)))
+    return _run_points("search TTL", points, jobs)
 
 
 def churn_sweep(
     config: SimulationConfig,
     mean_off_times: Sequence[float] = (60.0, 300.0, 1200.0, 3600.0),
+    jobs: int = 1,
 ) -> AblationResult:
     """Sweep churn (mean off-time between sessions).
 
@@ -165,16 +176,14 @@ def churn_sweep(
     unit time relative to session length); very long off-times shrink
     the online population and stress rejoin repair.
     """
-    dataset = TraceSynthesizer(config.trace).synthesize()
-    result = AblationResult(name="churn (mean off time, s)")
+    points = []
     for off_time in mean_off_times:
         point_config = dataclasses.replace(config, mean_off_time_s=off_time)
-        result.points.append(
-            _measure(
-                point_config,
-                dataset,
-                label=f"off={off_time:.0f}s",
-                parameters={"mean_off_time_s": off_time},
+        points.append(
+            (
+                f"off={off_time:.0f}s",
+                {"mean_off_time_s": off_time},
+                _spec_for(point_config),
             )
         )
-    return result
+    return _run_points("churn (mean off time, s)", points, jobs)

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from random import Random
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.net.latency import (
     LatencyModel,
@@ -78,6 +78,27 @@ def planetlab_environment() -> Environment:
         peer_failure_prob=0.06,
         server_processing_delay=0.010,
     )
+
+
+#: Named environment factories.  ExperimentSpec stores an environment
+#: *name* (Environment itself holds latency-model closures that do not
+#: pickle across process boundaries); the runner resolves the name on
+#: whichever process executes the spec.
+ENVIRONMENT_FACTORIES: Dict[str, Callable[[], Environment]] = {
+    "peersim": simulator_environment,
+    "planetlab": planetlab_environment,
+}
+
+
+def environment_by_name(name: str) -> Environment:
+    """A fresh Environment for a registered name; ValueError when unknown."""
+    factory = ENVIRONMENT_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown environment {name!r}; "
+            f"choose from {sorted(ENVIRONMENT_FACTORIES)}"
+        )
+    return factory()
 
 
 @dataclass

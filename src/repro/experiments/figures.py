@@ -14,18 +14,20 @@ Fig 15 and the prefetch-accuracy numbers are analytical
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.model import fig15_series, overhead_crossover, prefetch_accuracy
-from repro.experiments.config import (
-    Environment,
-    SimulationConfig,
-    planetlab_environment,
-    simulator_environment,
+from repro.experiments.config import SimulationConfig
+from repro.experiments.parallel import (
+    AggregatedResult,
+    aggregate_runs,
+    run_sweep,
 )
-from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.registry import resolve_params
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.trace_cache import shared_trace_cache
 from repro.trace.dataset import TraceDataset
-from repro.trace.synthesizer import TraceSynthesizer
 
 #: The five systems of Fig 17 (Fig 16/18 use the with-prefetch three).
 VARIANTS: List[Tuple[str, str, Dict]] = [
@@ -65,49 +67,109 @@ class EvaluationFigure:
         return out
 
 
+#: A single run or a multi-seed aggregate; both expose ``.metrics``.
+SuiteResult = Union[ExperimentResult, AggregatedResult]
+
+
 class EvaluationSuite:
-    """Runs and caches the Section V experiment grid."""
+    """Runs and caches the Section V experiment grid.
+
+    ``seeds``/``jobs`` widen every (variant, environment) cell from one
+    run into a seed sweep executed through the parallel orchestrator;
+    :meth:`result` then returns an :class:`AggregatedResult` (means +
+    95% CIs) instead of a single :class:`ExperimentResult`.  Both shapes
+    expose ``.metrics``, so the ``figNN_*`` methods are agnostic.
+    """
 
     def __init__(
         self,
         config: Optional[SimulationConfig] = None,
         planetlab_config: Optional[SimulationConfig] = None,
+        seeds: Optional[Sequence[int]] = None,
+        jobs: int = 1,
     ):
         self.config = config or SimulationConfig.default_scale()
         self.planetlab_config = planetlab_config or SimulationConfig.planetlab_scale()
-        self._environments: Dict[str, Environment] = {
-            "peersim": simulator_environment(),
-            "planetlab": planetlab_environment(),
-        }
-        self._datasets: Dict[str, TraceDataset] = {}
-        self._results: Dict[Tuple[str, str], ExperimentResult] = {}
+        self.seeds = tuple(int(s) for s in seeds) if seeds else None
+        self.jobs = max(1, int(jobs))
+        self._results: Dict[Tuple[str, str], SuiteResult] = {}
 
     def _config_for(self, environment: str) -> SimulationConfig:
         return self.planetlab_config if environment == "planetlab" else self.config
 
     def _dataset_for(self, environment: str) -> TraceDataset:
-        dataset = self._datasets.get(environment)
-        if dataset is None:
-            dataset = TraceSynthesizer(self._config_for(environment).trace).synthesize()
-            self._datasets[environment] = dataset
-        return dataset
+        """The trace corpus for one environment, via the shared cache.
 
-    def result(self, variant_label: str, environment: str = "peersim") -> ExperimentResult:
-        """The cached run for one (variant, environment) pair."""
+        Content-hash keying means two environments (or two suites) with
+        the same ``TraceConfig`` share one synthesized corpus instead of
+        rebuilding it per environment.
+        """
+        return shared_trace_cache.dataset_for(self._config_for(environment).trace)
+
+    def _specs_for(
+        self, variant_label: str, environment: str
+    ) -> List[ExperimentSpec]:
+        variant = next((v for v in VARIANTS if v[0] == variant_label), None)
+        if variant is None:
+            raise KeyError(f"unknown variant {variant_label!r}")
+        _label, protocol_name, overrides = variant
+        cfg = self._config_for(environment)
+        base = ExperimentSpec(
+            protocol=protocol_name,
+            config=cfg,
+            environment=environment,
+            params=resolve_params(protocol_name, cfg, overrides or None),
+        )
+        seeds = self.seeds or (cfg.seed,)
+        return [base.with_seed(seed) for seed in seeds]
+
+    def _store(self, key: Tuple[str, str], specs, results) -> None:
+        if len(results) == 1:
+            self._results[key] = results[0]
+        else:
+            self._results[key] = aggregate_runs(specs, results)
+
+    def warm(
+        self,
+        variant_labels: Optional[Sequence[str]] = None,
+        environments: Sequence[str] = ("peersim",),
+    ) -> None:
+        """Run every uncached (variant, environment, seed) cell in one
+        sweep, so ``jobs > 1`` parallelizes across the whole grid rather
+        than one cell at a time."""
+        labels = list(variant_labels) if variant_labels is not None else [
+            label for label, _name, _overrides in VARIANTS
+        ]
+        pending: List[Tuple[Tuple[str, str], List[ExperimentSpec]]] = []
+        flat: List[ExperimentSpec] = []
+        for environment in environments:
+            for label in labels:
+                key = (label, environment)
+                if key in self._results:
+                    continue
+                specs = self._specs_for(label, environment)
+                pending.append((key, specs))
+                flat.extend(specs)
+        if not pending:
+            return
+        results = run_sweep(flat, jobs=self.jobs)
+        cursor = 0
+        for key, specs in pending:
+            chunk = results[cursor:cursor + len(specs)]
+            cursor += len(specs)
+            self._store(key, specs, chunk)
+
+    def result(self, variant_label: str, environment: str = "peersim") -> SuiteResult:
+        """The cached outcome for one (variant, environment) pair.
+
+        One seed -> an :class:`ExperimentResult`; several seeds -> an
+        :class:`AggregatedResult` of means and confidence intervals.
+        """
         key = (variant_label, environment)
         if key not in self._results:
-            spec = next((v for v in VARIANTS if v[0] == variant_label), None)
-            if spec is None:
-                raise KeyError(f"unknown variant {variant_label!r}")
-            _label, protocol_name, overrides = spec
-            runner = ExperimentRunner(
-                config=self._config_for(environment),
-                environment=self._environments[environment],
-                protocol_name=protocol_name,
-                protocol_overrides=overrides,
-                dataset=self._dataset_for(environment),
-            )
-            self._results[key] = runner.run()
+            specs = self._specs_for(variant_label, environment)
+            results = run_sweep(specs, jobs=self.jobs)
+            self._store(key, specs, results)
         return self._results[key]
 
     # -- Fig 15 (analytical) --------------------------------------------------

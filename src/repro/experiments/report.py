@@ -8,9 +8,38 @@ claims next to the measured verdicts (the reproduction contract is the
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.experiments.figures import EvaluationFigure, EvaluationSuite
+from repro.experiments.parallel import AggregatedResult
+
+
+def render_ci_table(aggregates: Sequence[AggregatedResult]) -> str:
+    """Mean [95% CI] table of a multi-seed sweep, one row per system.
+
+    This is the aggregated view the ``--seeds a,b,c`` CLI flag prints:
+    headline metrics as ``mean [low, high]`` over the seed list.
+    """
+    if not aggregates:
+        return "no aggregated results"
+    seeds = ", ".join(str(s) for s in aggregates[0].seeds)
+    lines = [f"Multi-seed aggregate over seeds [{seeds}] (mean [95% CI]):"]
+    columns = (
+        ("startup_ms", "startup_delay_ms_mean"),
+        ("peer_bw_p50", "peer_bandwidth_p50"),
+        ("server_frac", "server_fallback_fraction"),
+        ("prefetch_hit", "prefetch_hit_fraction"),
+    )
+    for agg in aggregates:
+        cells = []
+        for label, name in columns:
+            m, lo, hi = agg.interval(name)
+            cells.append(f"{label}={m:.4g} [{lo:.4g}, {hi:.4g}]")
+        lines.append(
+            f"  {agg.protocol:12s} {agg.environment:9s} "
+            f"n={agg.num_runs}  " + "  ".join(cells)
+        )
+    return "\n".join(lines)
 
 
 def render_report(figures: List[EvaluationFigure]) -> str:

@@ -1,13 +1,23 @@
-"""Drives one (protocol, environment) experiment end to end.
+"""Drives one :class:`ExperimentSpec` end to end.
 
 The runner wires together every substrate: the synthesized trace, the
 event engine, the latency/bandwidth models, the central server, one
-protocol stack, the 75/15/10 workload, churned sessions, and the
-metrics collectors.  The per-user lifecycle is::
+protocol stack (resolved through the typed registry), the 75/15/10
+workload, churned sessions, and the metrics collectors.  The per-user
+lifecycle is::
 
     join (staggered) -> session: [select video -> locate -> startup ->
     watch -> prefetch -> sample overhead] x videos_per_session ->
     graceful leave -> Poisson off time -> next session -> ...
+
+Entry points:
+
+* :func:`run_spec` -- the canonical call: one frozen
+  :class:`ExperimentSpec` in, one :class:`ExperimentResult` out.  This
+  is also what sweep workers execute (see
+  :mod:`repro.experiments.parallel`).
+* :func:`run_experiment` -- deprecated positional shim kept for old
+  callers; emits a DeprecationWarning and builds a spec internally.
 
 Delay model (documented in DESIGN.md section 5):
 
@@ -23,15 +33,19 @@ Delay model (documented in DESIGN.md section 5):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.baselines.gridcast import GridCastProtocol
-from repro.baselines.nettube import NetTubeProtocol
-from repro.baselines.pavod import PaVodProtocol
-from repro.baselines.protocol import PeerState, VodProtocol
-from repro.core.socialtube import SocialTubeProtocol
-from repro.experiments.config import Environment, SimulationConfig, simulator_environment
+from repro.baselines.protocol import PeerState
+from repro.experiments.config import (
+    Environment,
+    SimulationConfig,
+    environment_by_name,
+)
+from repro.experiments.registry import create_protocol, resolve_params
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.trace_cache import shared_trace_cache
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.net.latency import SERVER_NODE_ID
 from repro.net.message import ChunkSource, LookupResult
@@ -41,17 +55,8 @@ from repro.sim.churn import ChurnModel, SessionPlan
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStreams
 from repro.trace.dataset import TraceDataset
-from repro.trace.synthesizer import TraceSynthesizer
 from repro.workload.selection import VideoSelector
 from repro.workload.session import SessionTracker
-
-#: Registry of runnable protocol stacks.
-PROTOCOL_FACTORIES = {
-    "socialtube": SocialTubeProtocol,
-    "nettube": NetTubeProtocol,
-    "pavod": PaVodProtocol,
-    "gridcast": GridCastProtocol,
-}
 
 
 @dataclass
@@ -76,27 +81,36 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Builds and runs one experiment."""
+    """Builds and runs the experiment one spec describes.
+
+    ``dataset`` short-circuits trace synthesis with a pre-built corpus
+    (the shared trace cache, a worker's deserialized snapshot);
+    ``environment`` overrides the spec's named environment with a
+    custom :class:`Environment` instance (testbed emulations).
+    """
 
     def __init__(
         self,
-        config: SimulationConfig,
-        environment: Optional[Environment] = None,
-        protocol_name: str = "socialtube",
-        protocol_overrides: Optional[Dict] = None,
+        spec: ExperimentSpec,
         dataset: Optional[TraceDataset] = None,
+        environment: Optional[Environment] = None,
     ):
-        if protocol_name not in PROTOCOL_FACTORIES:
-            raise ValueError(
-                f"unknown protocol {protocol_name!r}; "
-                f"choose from {sorted(PROTOCOL_FACTORIES)}"
+        if not isinstance(spec, ExperimentSpec):
+            raise TypeError(
+                "ExperimentRunner takes an ExperimentSpec; legacy callers "
+                "should use the run_experiment() shim"
             )
+        self.spec = spec
+        config = spec.config
         self.config = config
-        self.environment = environment or simulator_environment()
-        self.protocol_name = protocol_name
-        self.protocol_overrides = dict(protocol_overrides or {})
+        self.environment = environment or environment_by_name(spec.environment)
+        self.protocol_name = spec.protocol
+        self.params = spec.resolved_params()
 
-        streams = RngStreams(config.seed)
+        # Each run owns an independent stream family rooted at its
+        # spec's seed -- the contract that makes parallel sweeps
+        # byte-identical to serial execution (see RngStreams.for_run).
+        streams = RngStreams.for_run(config.seed)
         self._rng_workload = streams.stream("workload")
         self._rng_churn = streams.stream("churn")
         self._rng_latency = streams.stream("latency")
@@ -104,7 +118,7 @@ class ExperimentRunner:
         self._rng_capacity = streams.stream("peer-capacity")
         self._rng_failures = streams.stream("failures")
 
-        self.dataset = dataset or TraceSynthesizer(config.trace).synthesize()
+        self.dataset = dataset or shared_trace_cache.dataset_for(config.trace)
         if config.num_nodes > self.dataset.num_users:
             raise ValueError("config.num_nodes exceeds dataset population")
 
@@ -115,7 +129,13 @@ class ExperimentRunner:
             capacity_bps=config.effective_server_bandwidth_bps,
             rng=streams.stream("server"),
         )
-        self.protocol = self._build_protocol()
+        self.protocol = create_protocol(
+            spec.protocol,
+            self.dataset,
+            self.server,
+            self._rng_protocol,
+            params=self.params,
+        )
         self.protocol.now_fn = lambda: self.scheduler.now
         self.selector = VideoSelector(self.dataset, self._rng_workload)
         self.sessions = SessionTracker(
@@ -143,30 +163,6 @@ class ExperimentRunner:
                     prefetch_capacity=config.prefetch_store_capacity,
                 )
             )
-
-    def _build_protocol(self) -> VodProtocol:
-        cfg = self.config
-        overrides = self.protocol_overrides
-        if self.protocol_name == "socialtube":
-            kwargs = dict(
-                inner_link_limit=cfg.inner_links,
-                inter_link_limit=cfg.inter_links,
-                ttl=cfg.ttl,
-                prefetch_window=cfg.prefetch_window,
-                enable_prefetch=cfg.enable_prefetch,
-            )
-        elif self.protocol_name == "nettube":
-            kwargs = dict(
-                links_per_overlay=cfg.nettube_links_per_overlay,
-                search_hops=cfg.nettube_search_hops,
-                prefetch_window=cfg.prefetch_window,
-                enable_prefetch=cfg.enable_prefetch,
-            )
-        else:  # pavod / gridcast
-            kwargs = {}
-        kwargs.update(overrides)
-        factory = PROTOCOL_FACTORIES[self.protocol_name]
-        return factory(self.dataset, self.server, self._rng_protocol, **kwargs)
 
     # -- delay model ----------------------------------------------------------
 
@@ -361,6 +357,15 @@ class ExperimentRunner:
         )
 
 
+def run_spec(
+    spec: ExperimentSpec,
+    dataset: Optional[TraceDataset] = None,
+    environment: Optional[Environment] = None,
+) -> ExperimentResult:
+    """Execute one spec; the canonical single-run entry point."""
+    return ExperimentRunner(spec, dataset=dataset, environment=environment).run()
+
+
 def run_experiment(
     protocol_name: str,
     config: Optional[SimulationConfig] = None,
@@ -368,12 +373,23 @@ def run_experiment(
     dataset: Optional[TraceDataset] = None,
     **protocol_overrides,
 ) -> ExperimentResult:
-    """One-call convenience used by benches and examples."""
-    runner = ExperimentRunner(
-        config=config or SimulationConfig.default_scale(),
-        environment=environment,
-        protocol_name=protocol_name,
-        protocol_overrides=protocol_overrides,
-        dataset=dataset,
+    """Deprecated one-call convenience; builds an ExperimentSpec.
+
+    Kept as a thin shim for pre-registry callers.  New code should
+    construct an :class:`ExperimentSpec` (optionally via
+    ``spec.with_params``/``spec.with_seed``) and call :func:`run_spec`.
+    """
+    warnings.warn(
+        "run_experiment(name, config=...) is deprecated; build an "
+        "ExperimentSpec and call run_spec(spec) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return runner.run()
+    cfg = config or SimulationConfig.default_scale()
+    spec = ExperimentSpec(
+        protocol=protocol_name,
+        config=cfg,
+        environment=environment.name if environment is not None else "peersim",
+        params=resolve_params(protocol_name, cfg, protocol_overrides or None),
+    )
+    return run_spec(spec, dataset=dataset, environment=environment)

@@ -1,0 +1,147 @@
+"""The frozen, hashable description of one experiment run.
+
+An :class:`ExperimentSpec` is the unit of work of the whole evaluation
+layer: the CLI, :class:`repro.experiments.figures.EvaluationSuite`, the
+ablation sweeps and the process-pool orchestrator all construct specs,
+and a spec is everything a worker process needs to reproduce a run
+bit-for-bit -- protocol *name* (resolved through the typed registry, so
+specs pickle without dragging classes along), full
+:class:`SimulationConfig` (including the run seed and the trace
+recipe), environment *name*, and a typed params value.
+
+Two hashes matter:
+
+* :meth:`content_hash` -- SHA-256 over the canonical JSON of the fully
+  resolved spec.  Equal hashes mean byte-identical runs; the sweep
+  layer uses it to deduplicate work and key result caches.
+* :meth:`trace_hash` -- the same digest over only ``config.trace``.
+  Runs whose specs share a trace hash watch the *same* synthesized
+  corpus, which is what lets the trace cache synthesize once and ship
+  one serialized snapshot to every worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.registry import get_protocol, resolve_params
+
+#: Bumped when the canonical serialization changes shape, so stale
+#: on-disk caches keyed by content_hash can never alias a new layout.
+_SPEC_SCHEMA_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON for dataclasses/dicts/scalars (sorted keys)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def content_digest(value: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything that determines one ``(protocol, seed, environment)`` run.
+
+    ``params=None`` means "derive the protocol's defaults from
+    ``config``"; the resolution is deterministic, so a None-params spec
+    and its explicitly resolved twin share a :meth:`content_hash` (and
+    therefore a cache slot) even though ``==`` distinguishes them.
+
+    ``environment`` is a *name* (see
+    ``repro.experiments.config.ENVIRONMENT_FACTORIES``) because
+    :class:`Environment` carries latency-model closures that do not
+    pickle; the runner resolves the name on whichever process executes
+    the spec.
+    """
+
+    protocol: str
+    config: SimulationConfig
+    environment: str = "peersim"
+    params: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        entry = get_protocol(self.protocol)  # raises ValueError when unknown
+        if self.params is not None and not isinstance(
+            self.params, entry.params_type
+        ):
+            raise TypeError(
+                f"protocol {self.protocol!r} expects params of type "
+                f"{entry.params_type.__name__}, "
+                f"got {type(self.params).__name__}"
+            )
+        if not isinstance(self.config, SimulationConfig):
+            raise TypeError("config must be a SimulationConfig")
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def seed(self) -> int:
+        """The run seed (the RngStreams root of this run)."""
+        return self.config.seed
+
+    def resolved_params(self) -> Any:
+        """The typed params this run will use (defaults filled in)."""
+        if self.params is not None:
+            return self.params
+        return resolve_params(self.protocol, self.config)
+
+    def canonical_payload(self) -> Dict[str, Any]:
+        """The fully resolved, JSON-ready description of this run."""
+        return {
+            "version": _SPEC_SCHEMA_VERSION,
+            "protocol": self.protocol,
+            "environment": self.environment,
+            "config": dataclasses.asdict(self.config),
+            "params": dataclasses.asdict(self.resolved_params()),
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest identifying this run's full behaviour."""
+        return content_digest(self.canonical_payload())
+
+    def trace_hash(self) -> str:
+        """Digest of the trace recipe alone (the trace-cache key)."""
+        return content_digest(self.config.trace)
+
+    # -- builders ------------------------------------------------------------
+
+    def with_seed(self, seed: int) -> "ExperimentSpec":
+        """Same run under a different RNG seed (same trace corpus).
+
+        Only ``config.seed`` changes: the trace recipe keeps its own
+        seed, so a seed sweep replays the paper's methodology --
+        repeated randomized trials over one corpus -- and every spec in
+        the sweep shares a :meth:`trace_hash`.
+        """
+        return replace(self, config=replace(self.config, seed=seed))
+
+    def with_params(self, **overrides: Any) -> "ExperimentSpec":
+        """Copy with typed parameter overrides applied over the defaults.
+
+        Unknown field names raise TypeError -- the typo-safety the old
+        free-form ``**protocol_overrides`` never had.
+        """
+        params = dataclasses.replace(self.resolved_params(), **overrides)
+        return replace(self, params=params)
+
+    def label(self) -> str:
+        """Compact human-readable identity for logs and progress rows."""
+        return f"{self.protocol}/{self.environment}/seed={self.seed}"
+
+    def __hash__(self) -> int:
+        return int(self.content_hash()[:16], 16)
+
+
+def seed_sweep(spec: ExperimentSpec, seeds) -> Tuple[ExperimentSpec, ...]:
+    """One spec per seed, in the given order (duplicates preserved)."""
+    return tuple(spec.with_seed(int(seed)) for seed in seeds)

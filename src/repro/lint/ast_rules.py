@@ -31,6 +31,11 @@ the ways that claim silently breaks:
     ``==`` between floats derived from simulated time (``sched.now``,
     fire times) is brittle under accumulation order; compare with a
     tolerance or restructure around event ordering.
+``direct-protocol-instantiation``
+    ``*Protocol`` classes constructed outside
+    :mod:`repro.experiments.registry` bypass the typed parameter
+    defaults and the one sanctioned construction site; tests and
+    benchmarks are exempt.
 
 Each rule emits :class:`repro.lint.findings.Finding` rows; a finding is
 silenced for one line with ``# lint: disable=<rule-id>``.
@@ -624,6 +629,44 @@ class FloatTimeEqRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# (g) protocol construction outside the registry
+
+
+class DirectProtocolInstantiationRule(Rule):
+    rule_id = "direct-protocol-instantiation"
+    description = (
+        "a *Protocol class constructed outside the protocol registry; "
+        "go through repro.experiments.registry.create_protocol so "
+        "parameter defaults and typed overrides stay in one place"
+    )
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        if ctx.is_protocol_registry or ctx.is_test_module:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            tail = dotted.rsplit(".", 1)[-1]
+            # Bare "Protocol" is typing.Protocol, not a VoD system.
+            if tail == "Protocol" or not tail.endswith("Protocol"):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"'{dotted}(...)' constructs a protocol directly; use "
+                    "create_protocol(name, ...) from the registry (tests "
+                    "and the registry itself are exempt)",
+                )
+            )
+        return findings
+
+
+# ---------------------------------------------------------------------------
 # registry
 
 
@@ -635,6 +678,7 @@ ALL_AST_RULES: Tuple[Rule, ...] = (
     DeadNameRule(),
     BroadExceptRule(),
     FloatTimeEqRule(),
+    DirectProtocolInstantiationRule(),
 )
 
 #: rule id -> human description, for docs and the CLI `--list-rules` view.

@@ -49,5 +49,10 @@ class RuleContext:
     source: str
     is_rng_module: bool = False
     is_package_init: bool = False
+    #: The protocol registry module -- the one sanctioned construction
+    #: site of ``*Protocol`` classes (direct-protocol-instantiation).
+    is_protocol_registry: bool = False
+    #: Test/benchmark modules may construct protocols directly.
+    is_test_module: bool = False
     #: Names exported via ``__all__`` (count as uses for unused-import).
     exported_names: frozenset = field(default_factory=frozenset)

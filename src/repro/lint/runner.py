@@ -70,6 +70,22 @@ def _is_rng_module(path: str) -> bool:
     return normalized.endswith("sim/rng.py")
 
 
+def _is_protocol_registry(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return normalized.endswith("experiments/registry.py")
+
+
+def _is_test_module(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    basename = os.path.basename(normalized)
+    return (
+        basename.startswith("test_")
+        or basename == "conftest.py"
+        or "/tests/" in normalized
+        or "/benchmarks/" in normalized
+    )
+
+
 def _lint_module(source: str, path: str) -> "tuple[List[Finding], int]":
     """(surviving findings, suppressed count) for one module's source."""
     tree = ast.parse(source, filename=path)
@@ -78,6 +94,8 @@ def _lint_module(source: str, path: str) -> "tuple[List[Finding], int]":
         source=source,
         is_rng_module=_is_rng_module(path),
         is_package_init=os.path.basename(path) == "__init__.py",
+        is_protocol_registry=_is_protocol_registry(path),
+        is_test_module=_is_test_module(path),
         exported_names=_extract_exports(tree),
     )
     suppressions = SuppressionIndex.from_source(source)

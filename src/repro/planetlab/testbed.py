@@ -22,7 +22,9 @@ from repro.experiments.config import (
     SimulationConfig,
     planetlab_environment,
 )
+from repro.experiments.registry import resolve_params
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.spec import ExperimentSpec
 
 
 class PlanetLabTestbed:
@@ -34,6 +36,8 @@ class PlanetLabTestbed:
         environment: Optional[Environment] = None,
     ):
         self.config = config or SimulationConfig.planetlab_scale()
+        #: The Environment object; custom testbeds may inject their own,
+        #: which overrides the spec's registered "planetlab" factory.
         self.environment = environment or planetlab_environment()
 
     def run(self, protocol_name: str, **protocol_overrides) -> ExperimentResult:
@@ -43,12 +47,15 @@ class PlanetLabTestbed:
         ``"pavod"``; overrides are forwarded to the protocol
         constructor (e.g. ``enable_prefetch=False``).
         """
-        runner = ExperimentRunner(
+        spec = ExperimentSpec(
+            protocol=protocol_name,
             config=self.config,
-            environment=self.environment,
-            protocol_name=protocol_name,
-            protocol_overrides=protocol_overrides,
+            environment="planetlab",
+            params=resolve_params(
+                protocol_name, self.config, protocol_overrides or None
+            ),
         )
+        runner = ExperimentRunner(spec, environment=self.environment)
         return runner.run()
 
     def compare_protocols(self, names=("pavod", "socialtube", "nettube")):

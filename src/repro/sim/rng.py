@@ -55,5 +55,27 @@ class RngStreams:
         """
         return RngStreams(derive_seed(self.master_seed, name))
 
+    @classmethod
+    def for_run(cls, master_seed: int, *qualifiers: str) -> "RngStreams":
+        """The stream family owned by one experiment run.
+
+        This is the parallel-determinism contract of the fan-out
+        harness (see :mod:`repro.experiments.parallel`): every run
+        constructs its *own* ``RngStreams`` rooted only at its spec's
+        seed (plus optional ``qualifiers``, folded in one
+        :func:`derive_seed` step at a time), and no stream object is
+        ever shared between runs.  Because a run's draws depend on
+        nothing but this root, executing runs across N worker
+        processes, in any order, yields byte-identical results to
+        executing them serially.
+
+        With no qualifiers this is exactly ``RngStreams(master_seed)``,
+        so adopting it changed no existing output.
+        """
+        seed = int(master_seed)
+        for qualifier in qualifiers:
+            seed = derive_seed(seed, qualifier)
+        return cls(seed)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngStreams(seed={self.master_seed}, streams={sorted(self._streams)})"

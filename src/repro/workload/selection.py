@@ -143,7 +143,11 @@ class VideoSelector:
         popularity-weighted among them.  Users without subscriptions
         start from a popular channel of a popular category.
         """
-        subscriptions = list(self.dataset.subscriptions_of_user(user_id))
+        # sorted(): the subscription set's hash order depends on its
+        # insertion history, which a pickle round trip rewrites -- the
+        # trace cache ships snapshots to workers, so iteration order
+        # must be canonical for jobs=N to equal jobs=1.
+        subscriptions = sorted(self.dataset.subscriptions_of_user(user_id))
         if subscriptions:
             weights = [self._channel_weight(c) for c in subscriptions]
             channel = subscriptions[DiscreteSampler(weights).sample(self.rng)]
@@ -162,9 +166,10 @@ class VideoSelector:
     ) -> Optional[int]:
         """A popularity-weighted subscribed channel, optionally filtered
         to one category; None when the user has no match."""
+        # sorted() for pickle-stable iteration order (see start_session).
         candidates = [
             c
-            for c in self.dataset.subscriptions_of_user(user_id)
+            for c in sorted(self.dataset.subscriptions_of_user(user_id))
             if c != exclude
             and (
                 category_id is None

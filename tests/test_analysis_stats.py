@@ -8,9 +8,11 @@ from repro.analysis.stats import (
     gini_coefficient,
     log_log_slope,
     mean,
+    mean_confidence_interval,
     pearson_correlation,
     percentile,
     percentiles,
+    sample_std,
 )
 
 
@@ -151,3 +153,40 @@ class TestGini:
         assert mean([1, 2, 3]) == 2.0
         with pytest.raises(ValueError):
             mean([])
+
+
+class TestConfidenceInterval:
+    def test_sample_std_matches_hand_computation(self):
+        # values 2, 4, 6: mean 4, squared deviations 4+0+4, n-1 = 2.
+        assert sample_std([2.0, 4.0, 6.0]) == pytest.approx(2.0)
+
+    def test_sample_std_degenerate(self):
+        assert sample_std([]) == 0.0
+        assert sample_std([3.0]) == 0.0
+
+    def test_interval_brackets_mean(self):
+        m, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert m == pytest.approx(2.5)
+        assert lo < m < hi
+        # t(df=3) = 3.182, s = sqrt(5/3), half-width = t*s/sqrt(4)
+        assert hi - m == pytest.approx(3.182 * (5.0 / 3.0) ** 0.5 / 2.0)
+
+    def test_single_observation_zero_width(self):
+        assert mean_confidence_interval([7.0]) == (7.0, 7.0, 7.0)
+
+    def test_identical_values_zero_width(self):
+        m, lo, hi = mean_confidence_interval([5.0, 5.0, 5.0])
+        assert m == lo == hi == 5.0
+
+    def test_large_sample_uses_normal_approximation(self):
+        values = [float(i % 2) for i in range(40)]  # df=39 > 30
+        m, lo, hi = mean_confidence_interval(values)
+        assert hi - m == pytest.approx(1.960 * sample_std(values) / 40 ** 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_unsupported_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=0.99)

@@ -81,11 +81,12 @@ class TestComparisonStory:
     def test_gridcast_beats_pavod_on_availability(self, tiny_dataset):
         """Caching alone lifts availability over current-watcher-only."""
         from repro.experiments.config import SimulationConfig
-        from repro.experiments.runner import run_experiment
+        from repro.experiments.runner import run_spec
+        from repro.experiments.spec import ExperimentSpec
 
         config = SimulationConfig.smoke_scale(seed=31)
-        gridcast = run_experiment("gridcast", config=config)
-        pavod = run_experiment("pavod", config=config)
+        gridcast = run_spec(ExperimentSpec(protocol="gridcast", config=config))
+        pavod = run_spec(ExperimentSpec(protocol="pavod", config=config))
         assert (
             gridcast.metrics.peer_bandwidth_p50
             > pavod.metrics.peer_bandwidth_p50

@@ -38,3 +38,35 @@ class TestCli:
         main(["--seed", "2", "compare", "--quick"])
         second = capsys.readouterr().out
         assert first != second
+
+    def test_compare_multi_seed_prints_ci_table(self, capsys):
+        assert main(["compare", "--quick", "--seeds", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out
+        assert "Multi-seed aggregate over seeds [1, 2]" in out
+
+    def test_compare_jobs_output_matches_serial(self, capsys):
+        main(["compare", "--quick", "--seeds", "1,2", "--jobs", "1"])
+        serial = capsys.readouterr().out
+        main(["compare", "--quick", "--seeds", "1,2", "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_single_seed_list_keeps_plain_output(self, capsys):
+        # --seeds with one entry behaves like the classic single run.
+        main(["--seed", "5", "compare", "--quick"])
+        classic = capsys.readouterr().out
+        main(["--seed", "5", "compare", "--quick", "--seeds", "5"])
+        via_seeds = capsys.readouterr().out
+        assert "95% CI" not in via_seeds
+        assert classic == via_seeds
+
+    def test_bad_seeds_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--quick", "--seeds", "1,x"])
+
+    def test_figures_multi_seed_prints_ci_table(self, capsys):
+        assert main(["figures", "--quick", "--seeds", "1,2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 17a" in out
+        assert "Multi-seed aggregate" in out

@@ -1,13 +1,13 @@
 """Unit tests for the experiment runner."""
 
+import warnings
+
 import pytest
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import (
-    PROTOCOL_FACTORIES,
-    ExperimentRunner,
-    run_experiment,
-)
+from repro.experiments.registry import protocol_names, resolve_params
+from repro.experiments.runner import ExperimentRunner, run_experiment, run_spec
+from repro.experiments.spec import ExperimentSpec
 from repro.trace.synthesizer import TraceConfig, TraceSynthesizer
 
 
@@ -22,60 +22,79 @@ MICRO = SimulationConfig(
 )
 
 
+def micro_spec(protocol="socialtube", **overrides):
+    return ExperimentSpec(
+        protocol=protocol,
+        config=MICRO,
+        params=resolve_params(protocol, MICRO, overrides or None),
+    )
+
+
+def run_quiet(name, **overrides):
+    """run_experiment with the deprecation warning silenced."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return run_experiment(name, config=MICRO, **overrides)
+
+
 class TestConstruction:
     def test_unknown_protocol_rejected(self):
         with pytest.raises(ValueError):
-            ExperimentRunner(MICRO, protocol_name="bittorrent")
+            ExperimentSpec(protocol="bittorrent", config=MICRO)
 
     def test_registry_contents(self):
-        assert set(PROTOCOL_FACTORIES) == {"socialtube", "nettube", "pavod", "gridcast"}
+        assert set(protocol_names()) == {"socialtube", "nettube", "pavod", "gridcast"}
+
+    def test_runner_requires_spec(self):
+        with pytest.raises(TypeError):
+            ExperimentRunner(MICRO)
 
     def test_dataset_population_checked(self):
         small = TraceSynthesizer(
             TraceConfig(num_users=10, num_channels=3, num_videos=30, seed=1)
         ).synthesize()
         with pytest.raises(ValueError):
-            ExperimentRunner(MICRO, protocol_name="socialtube", dataset=small)
+            ExperimentRunner(micro_spec(), dataset=small)
 
     def test_protocol_overrides_forwarded(self):
-        runner = ExperimentRunner(
-            MICRO,
-            protocol_name="socialtube",
-            protocol_overrides={"enable_prefetch": False},
-        )
+        runner = ExperimentRunner(micro_spec(enable_prefetch=False))
         assert runner.protocol.enable_prefetch is False
+
+    def test_shim_warns_but_matches_spec_path(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_experiment("socialtube", config=MICRO)
+        modern = run_spec(micro_spec())
+        assert legacy.metrics == modern.metrics
+        assert legacy.events_processed == modern.events_processed
 
 
 class TestRun:
     @pytest.mark.parametrize("name", ["socialtube", "nettube", "pavod"])
     def test_completes_all_sessions(self, name):
-        result = run_experiment(name, config=MICRO)
+        result = run_quiet(name)
         expected = MICRO.num_nodes * MICRO.sessions_per_user * MICRO.videos_per_session
         assert result.metrics.num_requests == expected
 
     def test_deterministic_runs(self):
-        a = run_experiment("socialtube", config=MICRO)
-        b = run_experiment("socialtube", config=MICRO)
+        a = run_spec(micro_spec())
+        b = run_spec(micro_spec())
         assert a.metrics.startup_delay_ms_mean == b.metrics.startup_delay_ms_mean
         assert a.metrics.peer_bandwidth_p50 == b.metrics.peer_bandwidth_p50
         assert a.events_processed == b.events_processed
 
     def test_different_seeds_differ(self):
-        import dataclasses
-
-        other = dataclasses.replace(MICRO, seed=11)
-        a = run_experiment("socialtube", config=MICRO)
-        b = run_experiment("socialtube", config=other)
+        a = run_spec(micro_spec())
+        b = run_spec(micro_spec().with_seed(11))
         assert a.metrics.startup_delay_ms_mean != b.metrics.startup_delay_ms_mean
 
     def test_all_peers_end_offline(self):
-        runner = ExperimentRunner(MICRO, protocol_name="socialtube")
+        runner = ExperimentRunner(micro_spec())
         runner.run()
         assert all(not peer.online for peer in runner.protocol.peers.values())
         assert runner.server.online_count == 0
 
     def test_bandwidth_slots_all_released(self):
-        runner = ExperimentRunner(MICRO, protocol_name="pavod")
+        runner = ExperimentRunner(micro_spec("pavod"))
         runner.run()
         assert runner.server.uplink.active_transfers == 0
         assert all(
@@ -84,22 +103,22 @@ class TestRun:
         )
 
     def test_startup_delays_nonnegative(self):
-        result = run_experiment("nettube", config=MICRO)
+        result = run_spec(micro_spec("nettube"))
         assert result.metrics.startup_delay_ms_p50 >= 0
         assert result.metrics.startup_delay_ms_p99 >= result.metrics.startup_delay_ms_p50
 
     def test_overhead_sampled_for_every_video_index(self):
-        result = run_experiment("socialtube", config=MICRO)
+        result = run_spec(micro_spec())
         assert set(result.metrics.overhead_by_video_index) == set(
             range(1, MICRO.videos_per_session + 1)
         )
 
     def test_prefetch_disabled_means_no_hits(self):
-        result = run_experiment("socialtube", config=MICRO, enable_prefetch=False)
+        result = run_spec(micro_spec(enable_prefetch=False))
         assert result.prefetch_hit_rate == 0.0
 
     def test_render_rows(self):
-        result = run_experiment("socialtube", config=MICRO)
+        result = run_spec(micro_spec())
         text = "\n".join(result.render_rows())
         assert "SocialTube" in text
         assert "server" in text

@@ -196,6 +196,56 @@ class TestFloatTimeEqRule:
         assert lint("def f(a, b):\n    return a == b\n") == []
 
 
+class TestDirectProtocolInstantiationRule:
+    def test_direct_construction_flagged(self):
+        findings = lint(
+            "def f(dataset, server, rng):\n"
+            "    return SocialTubeProtocol(dataset, server, rng)\n"
+        )
+        assert rules_of(findings) == ["direct-protocol-instantiation"]
+
+    def test_attribute_chain_flagged(self):
+        findings = lint(
+            "import repro.core.socialtube as st\n"
+            "def f(d, s, r):\n"
+            "    return st.SocialTubeProtocol(d, s, r)\n"
+        )
+        assert "direct-protocol-instantiation" in rules_of(findings)
+
+    def test_bare_typing_protocol_allowed(self):
+        assert lint("from typing import Protocol\nX = Protocol\n") == []
+
+    def test_registry_module_exempt(self):
+        findings = lint(
+            "def f(d, s, r):\n    return NetTubeProtocol(d, s, r)\n",
+            path="src/repro/experiments/registry.py",
+        )
+        assert findings == []
+
+    def test_test_modules_exempt(self):
+        source = "def f(d, s, r):\n    return NetTubeProtocol(d, s, r)\n"
+        assert lint(source, path="tests/test_foo.py") == []
+        assert lint(source, path="benchmarks/conftest.py") == []
+
+    def test_create_protocol_allowed(self):
+        assert (
+            lint(
+                "from repro.experiments.registry import create_protocol\n"
+                "def f(d, s, r):\n"
+                "    return create_protocol('socialtube', d, s, r)\n"
+            )
+            == []
+        )
+
+    def test_suppressible_per_line(self):
+        source = (
+            "def f(d, s, r):\n"
+            "    return PaVodProtocol(d, s, r)"
+            "  # lint: disable=direct-protocol-instantiation\n"
+        )
+        assert lint(source) == []
+
+
 class TestSuppression:
     def test_disable_silences_named_rule(self):
         source = "import time\nt = time.time()  # lint: disable=wall-clock\n"

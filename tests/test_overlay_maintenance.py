@@ -70,9 +70,10 @@ class TestCompare:
         assert "SocialTube" in estimates[0].render()
 
     def test_from_real_run(self, smoke_config):
-        from repro.experiments.runner import run_experiment
+        from repro.experiments.runner import run_spec
+        from repro.experiments.spec import ExperimentSpec
 
-        result = run_experiment("socialtube", config=smoke_config)
+        result = run_spec(ExperimentSpec(protocol="socialtube", config=smoke_config))
         series = result.metrics.overhead_series()
         estimate = estimate_probe_traffic("SocialTube", series, 2000.0)
         assert estimate.probes_per_session > 0
