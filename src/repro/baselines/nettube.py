@@ -154,13 +154,17 @@ class NetTubeProtocol(VodProtocol):
         # Subsequent requests: two-hop query across the union of the
         # node's overlay links; on a miss "the user resorts to the
         # server", which serves the video itself.
-        result = ttl_flood(
-            requester=user_id,
-            start_neighbors=self._union_neighbors(user_id),
-            neighbors_of=self._union_neighbors,
-            is_holder=lambda n: self.is_online_holder(n, video_id),
-            ttl=self.search_hops,
-        )
+        with self.tracer.span(
+            "flood.search", node=user_id, video=video_id, level="video-overlays"
+        ):
+            result = ttl_flood(
+                requester=user_id,
+                start_neighbors=self._union_neighbors(user_id),
+                neighbors_of=self._union_neighbors,
+                is_holder=lambda n: self.is_online_holder(n, video_id),
+                ttl=self.search_hops,
+                tracer=self.tracer,
+            )
         if result.success:
             return LookupResult(
                 video_id=video_id,

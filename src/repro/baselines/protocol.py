@@ -17,6 +17,7 @@ from repro.core.cache import PrefetchStore, PrefetchedChunk, VideoCache
 from repro.net.bandwidth import SharedUploadLink
 from repro.net.message import ChunkSource, LookupResult
 from repro.net.server import CentralServer
+from repro.obs.tracer import NULL_TRACER
 from repro.trace.dataset import TraceDataset
 
 
@@ -85,6 +86,10 @@ class VodProtocol(ABC):
         #: runner; protocols needing time (e.g. PA-VoD's download
         #: progress) call ``self.now_fn()``.
         self.now_fn = lambda: 0.0
+        #: repro.obs tracer, wired by the runner (same pattern as
+        #: ``now_fn``).  Defaults to the falsy NULL_TRACER so protocol
+        #: code can guard hot paths with ``if self.tracer:``.
+        self.tracer = NULL_TRACER
 
     # -- peer registry -------------------------------------------------------
 

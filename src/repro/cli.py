@@ -7,6 +7,8 @@ Commands
 ``figures``    regenerate the Section V figures (15-18 + Table I)
 ``planetlab``  run the emulated PlanetLab testbed comparison
 ``lint``       determinism/invariant static analysis over the source tree
+``profile``    run one protocol under the tracer; write a JSONL trace
+               and print the profile summary (see docs/tracing.md)
 """
 
 from __future__ import annotations
@@ -140,6 +142,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(paths=args.paths or None, output_format=args.format)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments.spec import ExperimentSpec
+    from repro.obs.export import (
+        render_profile,
+        run_profiled,
+        trace_filename,
+        write_trace,
+    )
+
+    config = (
+        SimulationConfig.default_scale(seed=args.seed)
+        if args.full
+        else SimulationConfig.smoke_scale(seed=args.seed)
+    )
+    spec = ExperimentSpec(
+        protocol=args.protocol, config=config, environment=args.environment
+    )
+    profiled = run_profiled(spec, jobs=args.jobs)
+    path = os.path.join(args.outdir, trace_filename(spec))
+    write_trace(path, profiled.jsonl)
+    print(render_profile(profiled.summary))
+    print(f"trace: {path} ({len(profiled.jsonl)} bytes)")
+    return 0
+
+
 def _cmd_planetlab(args: argparse.Namespace) -> int:
     testbed = PlanetLabTestbed()
     for name in ("pavod", "nettube", "socialtube"):
@@ -203,6 +232,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--list-rules", action="store_true", help="print every rule id and exit"
     )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_profile = sub.add_parser(
+        "profile", help="traced run: JSONL trace + profile summary"
+    )
+    p_profile.add_argument(
+        "protocol", choices=("socialtube", "nettube", "pavod"),
+        help="protocol stack to profile",
+    )
+    p_profile.add_argument(
+        "--seed", type=int, default=2014,
+        help="RNG seed (accepted after the subcommand for convenience)",
+    )
+    p_profile.add_argument(
+        "--environment", default="peersim", help="named environment (see config)"
+    )
+    p_profile.add_argument(
+        "--full", action="store_true",
+        help="profile at the paper's full scale (default: smoke scale)",
+    )
+    p_profile.add_argument(
+        "--jobs", type=int, default=1,
+        help="run via the process-pool path (>1); the trace bytes are "
+        "identical either way -- this exists to prove it",
+    )
+    p_profile.add_argument(
+        "--outdir", default="traces_out", help="directory for the JSONL trace"
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_export = sub.add_parser("export", help="export all figures as CSV/JSON")
     p_export.add_argument("--outdir", default="figures_out")

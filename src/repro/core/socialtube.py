@@ -117,15 +117,19 @@ class SocialTubeProtocol(VodProtocol):
 
         # Phase 1: flood the channel overlay over inner-links.
         inner = self._alive_neighbors(user_id, self.structure.inner_neighbors(user_id))
-        result = ttl_flood(
-            requester=user_id,
-            start_neighbors=inner,
-            neighbors_of=lambda n: self._alive_neighbors(
-                n, self.structure.inner_neighbors(n)
-            ),
-            is_holder=lambda n: self.is_online_holder(n, video_id),
-            ttl=self.ttl,
-        )
+        with self.tracer.span(
+            "flood.search", node=user_id, video=video_id, level="inner"
+        ):
+            result = ttl_flood(
+                requester=user_id,
+                start_neighbors=inner,
+                neighbors_of=lambda n: self._alive_neighbors(
+                    n, self.structure.inner_neighbors(n)
+                ),
+                is_holder=lambda n: self.is_online_holder(n, video_id),
+                ttl=self.ttl,
+                tracer=self.tracer,
+            )
         if result.success:
             self.structure.adopt_inner_provider(user_id, result.found)
             return LookupResult(
@@ -142,15 +146,19 @@ class SocialTubeProtocol(VodProtocol):
         # ("Within each channel overlay, the request is forwarded along
         # TTL hops"), so total depth is 1 (the inter hop) + TTL.
         inter = self._alive_neighbors(user_id, self.structure.inter_neighbors(user_id))
-        result = ttl_flood(
-            requester=user_id,
-            start_neighbors=inter,
-            neighbors_of=lambda n: self._alive_neighbors(
-                n, self.structure.inner_neighbors(n)
-            ),
-            is_holder=lambda n: self.is_online_holder(n, video_id),
-            ttl=self.ttl + 1,
-        )
+        with self.tracer.span(
+            "flood.search", node=user_id, video=video_id, level="inter"
+        ):
+            result = ttl_flood(
+                requester=user_id,
+                start_neighbors=inter,
+                neighbors_of=lambda n: self._alive_neighbors(
+                    n, self.structure.inner_neighbors(n)
+                ),
+                is_holder=lambda n: self.is_online_holder(n, video_id),
+                ttl=self.ttl + 1,
+                tracer=self.tracer,
+            )
         if result.success:
             self.structure.adopt_inter_provider(user_id, result.found)
             return LookupResult(

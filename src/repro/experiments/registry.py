@@ -111,6 +111,11 @@ def register_protocol(
     ``params_type`` must be a frozen dataclass whose fields mirror the
     factory's keyword arguments.  Re-registering a name replaces the
     entry (tests register throwaway stacks).
+
+    Example::
+
+        register_protocol("mystack", MyStackProtocol, MyStackParams)
+        protocol = create_protocol("mystack", dataset, server, rng)
     """
     if not dataclasses.is_dataclass(params_type):
         raise TypeError(f"params_type for {name!r} must be a dataclass")
@@ -156,6 +161,11 @@ def resolve_params(
 
     Raises TypeError on an override key the params dataclass does not
     declare -- the typo-safety the old ``**protocol_overrides`` lacked.
+
+    Example::
+
+        params = resolve_params("socialtube", config, {"ttl": 3})
+        assert params.ttl == 3        # other fields keep config defaults
     """
     params = default_params(name, config)
     if overrides:
@@ -182,6 +192,13 @@ def create_protocol(
     ``params`` defaults to the entry's params defaults (not derived
     from any SimulationConfig); pass :func:`resolve_params` output to
     honour config-level knobs.
+
+    Example::
+
+        protocol = create_protocol(
+            "socialtube", dataset, server, rng,
+            params=resolve_params("socialtube", config),
+        )
     """
     entry = get_protocol(name)
     if params is None:

@@ -51,6 +51,7 @@ from repro.net.latency import SERVER_NODE_ID
 from repro.net.message import ChunkSource, LookupResult
 from repro.net.streaming import simulate_playback
 from repro.net.server import CentralServer
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.churn import ChurnModel, SessionPlan
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStreams
@@ -94,6 +95,7 @@ class ExperimentRunner:
         spec: ExperimentSpec,
         dataset: Optional[TraceDataset] = None,
         environment: Optional[Environment] = None,
+        tracer=None,
     ):
         if not isinstance(spec, ExperimentSpec):
             raise TypeError(
@@ -123,6 +125,12 @@ class ExperimentRunner:
             raise ValueError("config.num_nodes exceeds dataset population")
 
         self.scheduler = EventScheduler()
+        # One tracer flows through every substrate; it reads the
+        # scheduler's virtual clock so traces are a pure function of the
+        # spec (byte-identical across serial and parallel execution).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(lambda: self.scheduler.now)
+        self.scheduler.tracer = self.tracer
         self.latency = self.environment.latency_factory(self._rng_latency)
         self.server = CentralServer(
             self.dataset,
@@ -137,9 +145,13 @@ class ExperimentRunner:
             params=self.params,
         )
         self.protocol.now_fn = lambda: self.scheduler.now
+        self.protocol.tracer = self.tracer
+        self.server.uplink.tracer = self.tracer
         self.selector = VideoSelector(self.dataset, self._rng_workload)
         self.sessions = SessionTracker(
-            config.sessions_per_user, config.videos_per_session
+            config.sessions_per_user,
+            config.videos_per_session,
+            tracer=self.tracer,
         )
         self.churn = ChurnModel(
             SessionPlan(
@@ -148,21 +160,23 @@ class ExperimentRunner:
                 mean_off_time=config.mean_off_time_s,
             ),
             self._rng_churn,
+            tracer=self.tracer,
         )
         self.metrics = MetricsCollector(
             protocol=self.protocol.name, environment=self.environment.name
         )
         self._node_ids = list(range(config.num_nodes))
         for node_id in self._node_ids:
-            self.protocol.register_peer(
-                PeerState(
-                    user_id=node_id,
-                    upload_capacity_bps=self._rng_capacity.uniform(
-                        config.peer_upload_min_bps, config.peer_upload_max_bps
-                    ),
-                    prefetch_capacity=config.prefetch_store_capacity,
-                )
+            state = PeerState(
+                user_id=node_id,
+                upload_capacity_bps=self._rng_capacity.uniform(
+                    config.peer_upload_min_bps, config.peer_upload_max_bps
+                ),
+                prefetch_capacity=config.prefetch_store_capacity,
             )
+            if self.tracer:
+                state.uplink.tracer = self.tracer
+            self.protocol.register_peer(state)
 
     # -- delay model ----------------------------------------------------------
 
@@ -194,6 +208,10 @@ class ExperimentRunner:
     def _serve_request(self, user_id: int, video_id: int):
         """Resolve one video request; returns (startup_delay_s, grant,
         lookup, prefetch_hit, stall_s)."""
+        with self.tracer.span("request.serve", node=user_id, video=video_id):
+            return self._serve_request_inner(user_id, video_id)
+
+    def _serve_request_inner(self, user_id: int, video_id: int):
         cfg = self.config
         peer = self.protocol.state(user_id)
         lookup = self.protocol.locate(user_id, video_id)
@@ -201,6 +219,14 @@ class ExperimentRunner:
         if lookup.from_cache:
             self.metrics.record_chunks(user_id, ChunkSource.CACHE, cfg.chunks_per_video)
             self.metrics.record_playback(user_id, 1.0, 0.0)
+            if self.tracer:
+                self.tracer.event(
+                    "transfer.chunks",
+                    node=user_id,
+                    video=video_id,
+                    source="cache",
+                    chunks=cfg.chunks_per_video,
+                )
             return cfg.local_playback_delay_s, None, lookup, False, 0.0
 
         # Transient WAN failure: the chosen peer connection breaks and
@@ -210,7 +236,13 @@ class ExperimentRunner:
             and self.environment.peer_failure_prob > 0
             and self._rng_failures.random() < self.environment.peer_failure_prob
         ):
-            self.metrics.record_peer_transfer_failure()
+            self.metrics.record_peer_transfer_failure(user_id)
+            if self.tracer:
+                self.tracer.event(
+                    "request.peer_failure",
+                    node=user_id,
+                    provider=lookup.provider_id,
+                )
             lookup = LookupResult(
                 video_id=video_id,
                 from_server=True,
@@ -219,6 +251,13 @@ class ExperimentRunner:
             )
 
         prefetch_entry = peer.take_prefetch(video_id)
+        if self.tracer:
+            self.tracer.event(
+                "prefetch.lookup",
+                node=user_id,
+                video=video_id,
+                hit=prefetch_entry is not None,
+            )
         video_bits = cfg.video_bits(self.dataset.video_length(video_id))
         buffer_bits = cfg.startup_buffer_bits()
 
@@ -255,6 +294,16 @@ class ExperimentRunner:
             )
             self.metrics.record_chunks(user_id, chunk_source, cfg.chunks_per_video)
 
+        if self.tracer:
+            self.tracer.event(
+                "transfer.chunks",
+                node=user_id,
+                video=video_id,
+                source=chunk_source.value,
+                chunks=cfg.chunks_per_video - (1 if prefetch_hit else 0),
+                rate_bps=grant.rate_bps,
+            )
+
         # Chunk-level playback: stalls occur when the granted rate falls
         # below the bitrate (e.g. a saturated server share).
         playback = simulate_playback(
@@ -264,6 +313,9 @@ class ExperimentRunner:
             chunks=cfg.chunks_per_video,
             startup_buffer_s=cfg.startup_buffer_s,
             prefetched_first_chunk=prefetch_hit,
+            tracer=self.tracer,
+            node=user_id,
+            video=video_id,
         )
         self.metrics.record_playback(
             user_id, playback.continuity_index, playback.total_stall_s
@@ -278,15 +330,31 @@ class ExperimentRunner:
         candidates = self.protocol.select_prefetch(
             user_id, video_id, self.config.prefetch_window
         )
+        if self.tracer and candidates:
+            self.tracer.event(
+                "prefetch.select",
+                node=user_id,
+                watching=video_id,
+                count=len(candidates),
+            )
         for candidate in candidates:
             source = self.protocol.prefetch_source(user_id, candidate)
             peer.store_prefetch(candidate, source, self.scheduler.now)
+            if self.tracer:
+                self.tracer.event(
+                    "prefetch.store",
+                    node=user_id,
+                    video=candidate,
+                    source=source.value,
+                )
             # First chunks are ~15 KB (Section V): "the prefetching
             # cost can be negligible", so no bandwidth is charged.
 
     # -- user lifecycle ---------------------------------------------------------------
 
     def _start_session(self, user_id: int) -> None:
+        if self.tracer:
+            self.tracer.event("churn.join", node=user_id)
         self.sessions.begin_session(user_id)
         self.protocol.on_session_start(user_id)
         self.selector.start_session(user_id)
@@ -309,13 +377,29 @@ class ExperimentRunner:
         self.protocol.on_watch_started(user_id, video_id)
         self._do_prefetch(user_id, video_id)
         watch_time = startup + self.dataset.video_length(video_id) + stall_s
+        span_id = None
+        if self.tracer:
+            if lookup.from_cache:
+                source = "cache"
+            elif lookup.from_server:
+                source = "server"
+            else:
+                source = "peer"
+            # Detached: the stream outlives this callback and ends in
+            # _finish_video, a different scheduler event.
+            span_id = self.tracer.begin_detached(
+                "request.stream", node=user_id, video=video_id, source=source
+            )
         self.scheduler.schedule(
-            watch_time, self._finish_video, user_id, video_id, grant
+            watch_time, self._finish_video, user_id, video_id, grant, span_id
         )
 
-    def _finish_video(self, user_id: int, video_id: int, grant) -> None:
+    def _finish_video(
+        self, user_id: int, video_id: int, grant, span_id=None
+    ) -> None:
         if grant is not None:
             grant.release()
+        self.tracer.end(span_id)
         self.protocol.on_watch_finished(user_id, video_id)
         self.protocol.on_maintenance(user_id)
         video_index = self.sessions.record_video(user_id)
@@ -328,6 +412,8 @@ class ExperimentRunner:
             self._request_next_video(user_id)
 
     def _end_session(self, user_id: int) -> None:
+        if self.tracer:
+            self.tracer.event("churn.leave", node=user_id)
         self.protocol.on_session_end(user_id)
         self.sessions.end_session(user_id)
         if not self.sessions.all_sessions_done(user_id):
@@ -361,9 +447,18 @@ def run_spec(
     spec: ExperimentSpec,
     dataset: Optional[TraceDataset] = None,
     environment: Optional[Environment] = None,
+    tracer=None,
 ) -> ExperimentResult:
-    """Execute one spec; the canonical single-run entry point."""
-    return ExperimentRunner(spec, dataset=dataset, environment=environment).run()
+    """Execute one spec; the canonical single-run entry point.
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) records the run as
+    a deterministic trace; the default NULL_TRACER keeps every hook a
+    no-op.  See :mod:`repro.obs.export` for turning a traced run into
+    JSONL + a profile summary.
+    """
+    return ExperimentRunner(
+        spec, dataset=dataset, environment=environment, tracer=tracer
+    ).run()
 
 
 def run_experiment(

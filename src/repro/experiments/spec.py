@@ -37,14 +37,26 @@ _SPEC_SCHEMA_VERSION = 1
 
 
 def canonical_json(value: Any) -> str:
-    """Deterministic JSON for dataclasses/dicts/scalars (sorted keys)."""
+    """Deterministic JSON for dataclasses/dicts/scalars (sorted keys).
+
+    Example::
+
+        >>> canonical_json({"b": 2, "a": 1})
+        '{"a":1,"b":2}'
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         value = dataclasses.asdict(value)
     return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
 
 
 def content_digest(value: Any) -> str:
-    """SHA-256 hex digest of :func:`canonical_json`."""
+    """SHA-256 hex digest of :func:`canonical_json`.
+
+    Example::
+
+        >>> content_digest({"a": 1}) == content_digest({"a": 1})
+        True
+    """
     return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
 
 
@@ -62,6 +74,15 @@ class ExperimentSpec:
     :class:`Environment` carries latency-model closures that do not
     pickle; the runner resolves the name on whichever process executes
     the spec.
+
+    Example::
+
+        spec = ExperimentSpec(
+            protocol="socialtube",
+            config=SimulationConfig.smoke_scale(seed=2014),
+        )
+        result = run_spec(spec)              # repro.experiments.runner
+        cache_key = spec.content_hash()
     """
 
     protocol: str
@@ -143,5 +164,12 @@ class ExperimentSpec:
 
 
 def seed_sweep(spec: ExperimentSpec, seeds) -> Tuple[ExperimentSpec, ...]:
-    """One spec per seed, in the given order (duplicates preserved)."""
+    """One spec per seed, in the given order (duplicates preserved).
+
+    Example::
+
+        specs = seed_sweep(base_spec, [1, 2, 3])
+        assert [s.seed for s in specs] == [1, 2, 3]
+        assert len({s.trace_hash() for s in specs}) == 1  # same corpus
+    """
     return tuple(spec.with_seed(int(seed)) for seed in seeds)

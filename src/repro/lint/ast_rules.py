@@ -36,6 +36,12 @@ the ways that claim silently breaks:
     :mod:`repro.experiments.registry` bypass the typed parameter
     defaults and the one sanctioned construction site; tests and
     benchmarks are exempt.
+``missing-public-docstring``
+    Public classes and functions in the packages that form the
+    harness's user-facing API surface (``repro.obs``,
+    ``repro.experiments.spec``, ``repro.experiments.registry``) must
+    carry docstrings; only files flagged
+    ``requires_public_docstrings`` are checked.
 
 Each rule emits :class:`repro.lint.findings.Finding` rows; a finding is
 silenced for one line with ``# lint: disable=<rule-id>``.
@@ -667,6 +673,64 @@ class DirectProtocolInstantiationRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# (i) missing public docstrings on the documented API surface
+
+
+class MissingPublicDocstringRule(Rule):
+    """Public defs/classes in API-surface files must have docstrings.
+
+    Only fires when the file's :class:`RuleContext` sets
+    ``requires_public_docstrings`` (the runner flags ``repro.obs`` and
+    the experiment spec/registry modules).  A name is public when it
+    has no leading underscore; nested functions are skipped (they are
+    implementation detail even when unprefixed), but methods of public
+    classes are checked.
+    """
+
+    rule_id = "missing-public-docstring"
+    description = (
+        "public class/function on the documented API surface lacks a "
+        "docstring (packages opted in via requires_public_docstrings)"
+    )
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        if not ctx.requires_public_docstrings:
+            return []
+        findings: List[Finding] = []
+        self._check_body(tree.body, ctx, findings, in_class=False)
+        return findings
+
+    def _check_body(
+        self,
+        body: List[ast.stmt],
+        ctx: RuleContext,
+        findings: List[Finding],
+        in_class: bool,
+    ) -> None:
+        for node in body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else (
+                    "method" if in_class else "function"
+                )
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"public {kind} '{node.name}' has no docstring; this "
+                        "module is part of the documented API surface",
+                    )
+                )
+            if isinstance(node, ast.ClassDef):
+                self._check_body(node.body, ctx, findings, in_class=True)
+
+
+# ---------------------------------------------------------------------------
 # registry
 
 
@@ -679,6 +743,7 @@ ALL_AST_RULES: Tuple[Rule, ...] = (
     BroadExceptRule(),
     FloatTimeEqRule(),
     DirectProtocolInstantiationRule(),
+    MissingPublicDocstringRule(),
 )
 
 #: rule id -> human description, for docs and the CLI `--list-rules` view.

@@ -56,3 +56,6 @@ class RuleContext:
     is_test_module: bool = False
     #: Names exported via ``__all__`` (count as uses for unused-import).
     exported_names: frozenset = field(default_factory=frozenset)
+    #: Packages whose public API must carry docstrings
+    #: (missing-public-docstring); opt-in per path, see lint.runner.
+    requires_public_docstrings: bool = False

@@ -75,6 +75,16 @@ def _is_protocol_registry(path: str) -> bool:
     return normalized.endswith("experiments/registry.py")
 
 
+def _requires_public_docstrings(path: str) -> bool:
+    """The API-surface files held to missing-public-docstring."""
+    normalized = path.replace(os.sep, "/")
+    return (
+        "/obs/" in normalized
+        or normalized.endswith("experiments/spec.py")
+        or normalized.endswith("experiments/registry.py")
+    )
+
+
 def _is_test_module(path: str) -> bool:
     normalized = path.replace(os.sep, "/")
     basename = os.path.basename(normalized)
@@ -97,6 +107,7 @@ def _lint_module(source: str, path: str) -> "tuple[List[Finding], int]":
         is_protocol_registry=_is_protocol_registry(path),
         is_test_module=_is_test_module(path),
         exported_names=_extract_exports(tree),
+        requires_public_docstrings=_requires_public_docstrings(path),
     )
     suppressions = SuppressionIndex.from_source(source)
     kept: List[Finding] = []

@@ -54,11 +54,28 @@ class ExperimentMetrics:
     mean_peers_contacted: float
 
     def overhead_series(self) -> List[Tuple[int, float]]:
-        """Fig 18 series: (videos watched, mean links maintained)."""
+        """Fig 18 series: (videos watched, mean links maintained).
+
+        Returns ``(video_index, mean_links)`` pairs sorted by the
+        1-based within-session video index, ready to plot::
+
+            >>> m = ExperimentMetrics(..., overhead_by_video_index={2: 8.0, 1: 6.0}, ...)
+            ... # doctest: +SKIP
+            >>> m.overhead_series()  # doctest: +SKIP
+            [(1, 6.0), (2, 8.0)]
+        """
         return sorted(self.overhead_by_video_index.items())
 
     def render_rows(self) -> List[str]:
-        """Paper-style text summary."""
+        """Paper-style text summary, one line per metric family.
+
+        Returns a list of indented strings (suitable for ``print`` or a
+        report file): a header line with protocol/environment/request
+        count, then startup delay, peer bandwidth, request-outcome
+        fractions, search cost, playback continuity, and the Fig 18
+        maintenance-overhead series.  Used by the ``trace`` and
+        ``compare`` CLI commands.
+        """
         rows = [
             f"{self.protocol} on {self.environment} ({self.num_requests} requests)",
             (
@@ -117,6 +134,7 @@ class MetricsCollector:
         self.prefetch_hits = 0
         self.prefetch_misses = 0
         self.peer_transfer_failures = 0
+        self._peer_failures_by_user: Dict[int, int] = defaultdict(int)
         self._continuity: List[float] = []
         self._stall_ms: List[float] = []
         self.stalled_watches = 0
@@ -159,8 +177,20 @@ class MetricsCollector:
     def record_overhead(self, user_id: int, video_index: int, links: int) -> None:
         self._overhead[video_index].append(links)
 
-    def record_peer_transfer_failure(self) -> None:
+    def record_peer_transfer_failure(self, user_id: int) -> None:
+        """Count one peer-transfer failure, attributed to ``user_id``.
+
+        The per-user attribution keeps the metrics ledger in agreement
+        with the obs trace's ``request.peer_failure`` events (both key
+        failures by the *requesting* node).
+        """
         self.peer_transfer_failures += 1
+        self._peer_failures_by_user[user_id] += 1
+
+    def peer_transfer_failures_by_user(self) -> Dict[int, int]:
+        """Per-requester failure counts; sum equals
+        :attr:`peer_transfer_failures`."""
+        return dict(self._peer_failures_by_user)
 
     def record_playback(
         self, user_id: int, continuity_index: float, total_stall_s: float

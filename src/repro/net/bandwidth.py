@@ -49,6 +49,12 @@ class TransferGrant:
         if not self.released:
             self.released = True
             self.link._active -= 1
+            if self.link.tracer:
+                self.link.tracer.event(
+                    "bandwidth.release",
+                    owner=self.link.owner_id,
+                    active=self.link._active,
+                )
 
 
 class SharedUploadLink:
@@ -62,6 +68,11 @@ class SharedUploadLink:
         self._active = 0
         self.total_admitted = 0
         self.total_bits_served = 0.0
+        #: Optional repro.obs tracer (set by the experiment runner).
+        #: When truthy, admissions and releases emit trace events with
+        #: the grant's fixed share -- the raw series behind chunk-source
+        #: attribution and server-saturation analysis.
+        self.tracer = None
 
     @property
     def active_transfers(self) -> int:
@@ -85,6 +96,14 @@ class SharedUploadLink:
         self.total_admitted += 1
         self.total_bits_served += bits
         rate = self.capacity_bps / self._active
+        if self.tracer:
+            self.tracer.event(
+                "bandwidth.admit",
+                owner=self.owner_id,
+                rate_bps=rate,
+                active=self._active,
+                bits=bits,
+            )
         return TransferGrant(link=self, rate_bps=rate)
 
     def utilization_hint(self) -> float:

@@ -68,6 +68,9 @@ def simulate_playback(
     chunks: int,
     startup_buffer_s: float,
     prefetched_first_chunk: bool = False,
+    tracer=None,
+    node=None,
+    video=None,
 ) -> PlaybackReport:
     """Stream one video and report startup, stalls, and continuity.
 
@@ -75,6 +78,13 @@ def simulate_playback(
     ``chunks`` equal chunks; playback needs ``startup_buffer_s`` of
     media buffered before starting (or starts immediately on a
     prefetched first chunk, with the remainder fetched in background).
+
+    ``tracer`` (a truthy :class:`repro.obs.tracer.Tracer`) adds one
+    ``playback.stall`` event per stall and a ``playback.report``
+    summary, attributed to ``node``/``video``.  The schedule is
+    closed-form -- evaluated at a single instant of virtual time -- so
+    the per-stall *offsets into playback* travel as event attributes
+    rather than as separate timestamps.
     """
     if video_length_s <= 0 or bitrate_bps <= 0:
         raise StreamingError("video length and bitrate must be positive")
@@ -118,9 +128,26 @@ def simulate_playback(
         ready_at = arrivals[index]
         if ready_at > playhead:
             stalls.append(ready_at - playhead)
+            if tracer:
+                tracer.event(
+                    "playback.stall",
+                    node=node,
+                    video=video,
+                    chunk=index,
+                    stall_s=ready_at - playhead,
+                )
             playhead = ready_at
         playhead += chunk_seconds
 
+    if tracer:
+        tracer.event(
+            "playback.report",
+            node=node,
+            video=video,
+            stalls=len(stalls),
+            stall_s=sum(stalls),
+            startup_s=startup,
+        )
     return PlaybackReport(
         startup_delay_s=startup,
         stall_count=len(stalls),

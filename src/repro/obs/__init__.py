@@ -1,0 +1,32 @@
+"""Observability: deterministic tracing and profiling (`repro.obs`).
+
+* :mod:`repro.obs.tracer` -- the span/event/counter/histogram API with
+  sim-clock timestamps and a zero-cost :data:`NULL_TRACER` no-op mode.
+* :mod:`repro.obs.export` -- canonical JSONL trace export keyed by
+  ``ExperimentSpec.content_hash`` plus the profile summary behind
+  ``python -m repro profile``.
+
+This ``__init__`` deliberately re-exports only the tracer primitives:
+:mod:`repro.obs.export` pulls in the experiment runner, and the
+substrates (``sim.engine`` et al.) import the tracer, so importing the
+export layer here would create a cycle.  Import it explicitly::
+
+    from repro.obs import Tracer, NULL_TRACER
+    from repro.obs.export import run_profiled
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    SpanHandle,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "NullTracer",
+    "SpanHandle",
+    "Tracer",
+]

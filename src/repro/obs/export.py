@@ -1,0 +1,299 @@
+"""Canonical JSONL trace export and the profile summary.
+
+A trace artifact is a JSON-Lines file: one header row identifying the
+run (schema version, :meth:`ExperimentSpec.content_hash`, protocol,
+seed, environment), the span/event rows in emission order, and footer
+rows summarising counters and histograms.  Serialization is canonical
+-- sorted keys, compact separators, ``repr``-stable floats -- so the
+bytes of a trace are a pure function of its spec: running the same
+spec twice, or through the process-pool path, produces byte-identical
+files (tested by ``tests/test_obs_determinism.py``).
+
+The profile summary folds a trace into the table behind
+``python -m repro profile``: simulated time per span name
+("time-in-phase"), row counts by name ("events-by-type"), per-node
+hotspots, and counter totals.
+
+Example::
+
+    from repro.obs.export import run_profiled, render_profile
+
+    profiled = run_profiled(spec)
+    open(path, "wb").write(profiled.jsonl)
+    print(render_profile(profiled.summary))
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.runner import ExperimentResult, run_spec
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.trace_cache import shared_trace_cache
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, Tracer
+
+
+def trace_header(spec: ExperimentSpec) -> Dict[str, Any]:
+    """The identifying first row of a trace artifact.
+
+    Example::
+
+        header = trace_header(spec)
+        assert header["content_hash"] == spec.content_hash()
+    """
+    return {
+        "kind": "header",
+        "schema": TRACE_SCHEMA_VERSION,
+        "content_hash": spec.content_hash(),
+        "protocol": spec.protocol,
+        "environment": spec.environment,
+        "seed": spec.seed,
+    }
+
+
+def _canonical_row(row: Dict[str, Any]) -> str:
+    """One row as canonical JSON (sorted keys, compact separators)."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def trace_to_jsonl_bytes(
+    header: Dict[str, Any],
+    rows: List[Dict[str, Any]],
+    counters: Optional[Dict[str, float]] = None,
+    histograms: Optional[Dict[str, List[float]]] = None,
+) -> bytes:
+    """Serialize header + rows + footer summaries to canonical JSONL.
+
+    Counter and histogram footers are emitted in sorted-name order, so
+    the byte stream never depends on dict insertion history.
+    """
+    lines = [_canonical_row(header)]
+    lines.extend(_canonical_row(row) for row in rows)
+    for name in sorted(counters or {}):
+        lines.append(
+            _canonical_row({"kind": "counter", "name": name, "value": counters[name]})
+        )
+    for name in sorted(histograms or {}):
+        values = histograms[name]
+        lines.append(
+            _canonical_row(
+                {
+                    "kind": "hist",
+                    "name": name,
+                    "count": len(values),
+                    "min": min(values) if values else 0.0,
+                    "max": max(values) if values else 0.0,
+                    "sum": sum(values),
+                }
+            )
+        )
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def parse_jsonl_bytes(payload: bytes) -> List[Dict[str, Any]]:
+    """Inverse of :func:`trace_to_jsonl_bytes` (header and footers included)."""
+    return [json.loads(line) for line in payload.decode("utf-8").splitlines() if line]
+
+
+def write_trace(path: str, payload: bytes) -> str:
+    """Write trace bytes to ``path`` (creating parent dirs); returns ``path``."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return path
+
+
+def trace_filename(spec: ExperimentSpec) -> str:
+    """Artifact name keyed by the spec's identity: protocol + hash prefix."""
+    return f"trace_{spec.protocol}_{spec.content_hash()[:16]}.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# profile summary
+
+
+@dataclass
+class PhaseStat:
+    """Aggregate of one span name: how often, how much simulated time."""
+
+    name: str
+    count: int = 0
+    total_sim_s: float = 0.0
+
+
+@dataclass
+class ProfileSummary:
+    """The folded view of one trace: phases, event counts, hotspots.
+
+    ``phases`` maps span name to :class:`PhaseStat` (time is
+    *inclusive* simulated time: a parent span's total contains its
+    children).  ``events_by_type`` counts every named row.
+    ``node_hotspots`` ranks nodes by how many rows carry their
+    ``node`` attribute -- the per-node instrumentation cost/activity
+    view.  ``counters`` holds the footer counter totals.
+    """
+
+    phases: Dict[str, PhaseStat] = field(default_factory=dict)
+    events_by_type: Dict[str, int] = field(default_factory=dict)
+    node_hotspots: List[Tuple[int, int]] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    total_rows: int = 0
+
+    @classmethod
+    def from_rows(cls, rows: List[Dict[str, Any]], top_nodes: int = 10) -> "ProfileSummary":
+        """Fold parsed trace rows (header/footers tolerated) into a summary.
+
+        Example::
+
+            summary = ProfileSummary.from_rows(parse_jsonl_bytes(payload))
+            print(summary.phases["engine.run"].total_sim_s)
+        """
+        summary = cls()
+        span_names: Dict[int, str] = {}
+        node_rows: Dict[int, int] = {}
+        for row in rows:
+            kind = row.get("kind")
+            if kind in ("header",):
+                continue
+            summary.total_rows += 1
+            if kind == "counter":
+                summary.counters[row["name"]] = row["value"]
+                continue
+            if kind == "hist":
+                summary.events_by_type[f"hist:{row['name']}"] = row["count"]
+                continue
+            name = row.get("name")
+            if kind == "span_begin":
+                span_names[row["span"]] = name
+                stat = summary.phases.setdefault(name, PhaseStat(name=name))
+                stat.count += 1
+            elif kind == "span_end":
+                name = span_names.get(row["span"])
+                if name is not None:
+                    summary.phases[name].total_sim_s += row.get("dur", 0.0)
+                continue  # span_end rows carry no name; counted at begin
+            if name is not None:
+                summary.events_by_type[name] = summary.events_by_type.get(name, 0) + 1
+            node = row.get("attrs", {}).get("node")
+            if isinstance(node, int):
+                node_rows[node] = node_rows.get(node, 0) + 1
+        ranked = sorted(node_rows.items(), key=lambda item: (-item[1], item[0]))
+        summary.node_hotspots = ranked[:top_nodes]
+        return summary
+
+
+def render_profile(summary: ProfileSummary) -> str:
+    """The ``python -m repro profile`` summary table as text.
+
+    Three sections: time-in-phase (span names sorted by inclusive
+    simulated time), events-by-type (row counts), and the busiest
+    nodes.  Output is deterministic: ties break on name/id.
+    """
+    lines: List[str] = []
+    lines.append("time in phase (inclusive sim seconds)")
+    phases = sorted(
+        summary.phases.values(), key=lambda s: (-s.total_sim_s, s.name)
+    )
+    for stat in phases:
+        lines.append(
+            f"  {stat.name:<24} {stat.count:>8} spans  {stat.total_sim_s:>14.3f} s"
+        )
+    lines.append("events by type")
+    for name in sorted(summary.events_by_type):
+        lines.append(f"  {name:<24} {summary.events_by_type[name]:>8} rows")
+    if summary.counters:
+        lines.append("counters")
+        for name in sorted(summary.counters):
+            lines.append(f"  {name:<24} {summary.counters[name]:>8g}")
+    if summary.node_hotspots:
+        lines.append("busiest nodes (trace rows)")
+        for node, count in summary.node_hotspots:
+            lines.append(f"  node {node:<19} {count:>8} rows")
+    lines.append(f"{summary.total_rows} trace rows")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# traced / profiled execution
+
+
+@dataclass
+class ProfiledRun:
+    """One traced experiment: its result, trace bytes, and summary."""
+
+    spec: ExperimentSpec
+    result: Optional[ExperimentResult]
+    jsonl: bytes
+    summary: ProfileSummary
+
+
+def run_traced(
+    spec: ExperimentSpec, dataset: Optional[object] = None
+) -> Tuple[ExperimentResult, Tracer]:
+    """Execute one spec with a live tracer attached; returns both.
+
+    The tracer is created here (one per run -- tracers are not shared
+    across runs, matching the per-run RNG stream discipline) and wired
+    through the runner into every instrumented substrate.
+
+    Example::
+
+        result, tracer = run_traced(spec)
+        rows = tracer.rows()
+    """
+    tracer = Tracer()
+    result = run_spec(spec, dataset=dataset, tracer=tracer)
+    return result, tracer
+
+
+def _profile_worker(spec: ExperimentSpec) -> bytes:
+    """Pool worker: trace one spec and return the canonical JSONL bytes."""
+    _result, tracer = run_traced(
+        spec, dataset=shared_trace_cache.dataset_for(spec.config.trace)
+    )
+    return trace_to_jsonl_bytes(
+        trace_header(spec), tracer.rows(), tracer.counters(), tracer.histograms()
+    )
+
+
+def run_profiled(spec: ExperimentSpec, jobs: int = 1) -> ProfiledRun:
+    """Trace one spec and fold the trace into a profile summary.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` routes the run through a
+    process pool (the same execution shape as
+    :func:`repro.experiments.parallel.run_sweep`), which must -- and
+    does -- produce byte-identical trace artifacts, because a trace is
+    a pure function of its spec.
+
+    Example::
+
+        profiled = run_profiled(spec, jobs=2)
+        print(render_profile(profiled.summary))
+    """
+    if jobs <= 1:
+        result, tracer = run_traced(
+            spec, dataset=shared_trace_cache.dataset_for(spec.config.trace)
+        )
+        payload = trace_to_jsonl_bytes(
+            trace_header(spec), tracer.rows(), tracer.counters(), tracer.histograms()
+        )
+        return ProfiledRun(
+            spec=spec,
+            result=result,
+            jsonl=payload,
+            summary=ProfileSummary.from_rows(parse_jsonl_bytes(payload)),
+        )
+    with multiprocessing.Pool(processes=min(jobs, 2)) as pool:
+        payload = pool.map(_profile_worker, [spec], chunksize=1)[0]
+    return ProfiledRun(
+        spec=spec,
+        result=None,
+        jsonl=payload,
+        summary=ProfileSummary.from_rows(parse_jsonl_bytes(payload)),
+    )

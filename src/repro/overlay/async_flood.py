@@ -53,11 +53,16 @@ class AsyncFloodSearch:
         latency: LatencyModel,
         neighbors_of: Callable[[int], Iterable[int]],
         is_holder: Callable[[int], bool],
+        tracer=None,
     ):
         self.scheduler = scheduler
         self.latency = latency
         self.neighbors_of = neighbors_of
         self.is_holder = is_holder
+        #: Optional repro.obs tracer: when truthy, every query issue /
+        #: message delivery / response / timeout emits a trace event
+        #: stamped with the scheduler's virtual clock.
+        self.tracer = tracer
 
     def search(
         self,
@@ -83,6 +88,10 @@ class AsyncFloodSearch:
             on_complete=on_complete,
         )
         state.visited[requester] = None
+        if self.tracer:
+            state.span = self.tracer.begin_detached(
+                "flood.async", node=requester, ttl=ttl
+            )
         for neighbor in start_neighbors:
             self._forward(state, sender=requester, receiver=neighbor, depth=1, ttl=ttl)
         # Failure timer: fires unless a response completed the flood.
@@ -99,6 +108,10 @@ class AsyncFloodSearch:
         state.visited[receiver] = sender
         state.messages_sent += 1
         delay = self.latency.sample(sender, receiver)
+        if self.tracer:
+            self.tracer.event(
+                "flood.msg.forward", node=sender, receiver=receiver, depth=depth
+            )
         self.scheduler.schedule(
             delay, self._deliver, state, receiver, depth, ttl
         )
@@ -141,6 +154,8 @@ class AsyncFloodSearch:
             response_delay=self.scheduler.now - state.issued_at,
             messages_sent=state.messages_sent,
         )
+        if self.tracer:
+            self.tracer.end(state.span, holder=holder, depth=depth)
         state.on_complete(outcome)
 
     def _timed_out(self, state: "_FloodState") -> None:
@@ -152,6 +167,11 @@ class AsyncFloodSearch:
             response_delay=None,
             messages_sent=state.messages_sent,
         )
+        if self.tracer:
+            self.tracer.event(
+                "flood.timeout", node=state.requester, contacted=state.contacted
+            )
+            self.tracer.end(state.span)
         state.on_complete(outcome)
 
 
@@ -165,3 +185,5 @@ class _FloodState:
     messages_sent: int = 0
     done: bool = False
     timeout_event: Optional[object] = None
+    #: Detached tracer span id covering issue -> response/timeout.
+    span: Optional[int] = None

@@ -48,22 +48,38 @@ class ChurnModel:
     crowd is not the phenomenon under study).
     """
 
-    def __init__(self, plan: SessionPlan, rng: Random, warmup_window: float = 600.0):
+    def __init__(
+        self,
+        plan: SessionPlan,
+        rng: Random,
+        warmup_window: float = 600.0,
+        tracer=None,
+    ):
         if warmup_window < 0:
             raise ValueError("warmup_window must be >= 0")
         self.plan = plan
         self._rng = rng
         self.warmup_window = warmup_window
+        #: Optional repro.obs tracer: each drawn delay becomes a trace
+        #: event, making the churn process inspectable without touching
+        #: the RNG stream.
+        self.tracer = tracer
 
     def initial_join_delay(self) -> float:
         """Delay before a user's first session begins."""
-        return self._rng.uniform(0.0, self.warmup_window)
+        delay = self._rng.uniform(0.0, self.warmup_window)
+        if self.tracer:
+            self.tracer.event("churn.join_delay", delay=delay)
+        return delay
 
     def off_duration(self) -> float:
         """Length of the OFF gap between two consecutive sessions."""
         if self.plan.mean_off_time == 0:
             return 0.0
-        return self._rng.expovariate(1.0 / self.plan.mean_off_time)
+        duration = self._rng.expovariate(1.0 / self.plan.mean_off_time)
+        if self.tracer:
+            self.tracer.event("churn.off_time", dur=duration)
+        return duration
 
     def session_count(self) -> int:
         """Number of sessions each user performs in one experiment."""

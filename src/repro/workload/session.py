@@ -22,12 +22,18 @@ class _UserProgress:
 class SessionTracker:
     """Tracks session/video progress for the whole population."""
 
-    def __init__(self, sessions_per_user: int, videos_per_session: int):
+    def __init__(
+        self, sessions_per_user: int, videos_per_session: int, tracer=None
+    ):
         if sessions_per_user < 1 or videos_per_session < 1:
             raise ValueError("session plan values must be >= 1")
         self.sessions_per_user = sessions_per_user
         self.videos_per_session = videos_per_session
         self._progress: Dict[int, _UserProgress] = {}
+        #: Optional repro.obs tracer: session begin/end trace events
+        #: carry the per-user session index, the raw series behind
+        #: Fig 18's "links vs videos watched" accounting.
+        self.tracer = tracer
 
     def _of(self, user_id: int) -> _UserProgress:
         progress = self._progress.get(user_id)
@@ -42,6 +48,10 @@ class SessionTracker:
             raise RuntimeError(f"user {user_id} already in a session")
         progress.in_session = True
         progress.videos_this_session = 0
+        if self.tracer:
+            self.tracer.event(
+                "session.begin", user=user_id, index=progress.sessions_done + 1
+            )
 
     def record_video(self, user_id: int) -> int:
         """Count one watched video; returns its 1-based session index."""
@@ -61,6 +71,13 @@ class SessionTracker:
             raise RuntimeError(f"user {user_id} is not in a session")
         progress.in_session = False
         progress.sessions_done += 1
+        if self.tracer:
+            self.tracer.event(
+                "session.end",
+                user=user_id,
+                index=progress.sessions_done,
+                videos=progress.videos_this_session,
+            )
 
     def all_sessions_done(self, user_id: int) -> bool:
         return self._of(user_id).sessions_done >= self.sessions_per_user

@@ -217,7 +217,7 @@ class TestDirectProtocolInstantiationRule:
 
     def test_registry_module_exempt(self):
         findings = lint(
-            "def f(d, s, r):\n    return NetTubeProtocol(d, s, r)\n",
+            'def f(d, s, r):\n    """Doc."""\n    return NetTubeProtocol(d, s, r)\n',
             path="src/repro/experiments/registry.py",
         )
         assert findings == []
@@ -359,3 +359,62 @@ class TestRunnerAndCli:
     def test_bad_format_rejected(self):
         with pytest.raises(SystemExit):
             main(["lint", "--format", "yaml"])
+
+
+class TestMissingPublicDocstringRule:
+    SOURCE = (
+        "class Foo:\n"
+        "    def bar(self):\n"
+        "        pass\n"
+        "\n"
+        "def baz():\n"
+        "    pass\n"
+    )
+
+    def test_api_surface_files_checked(self):
+        findings = lint(self.SOURCE, path="src/repro/obs/tracer.py")
+        assert rules_of(findings) == ["missing-public-docstring"]
+        assert len(findings) == 3  # class, method, function
+
+    def test_spec_and_registry_opted_in(self):
+        for path in (
+            "src/repro/experiments/spec.py",
+            "src/repro/experiments/registry.py",
+        ):
+            assert len(lint(self.SOURCE, path=path)) == 3
+
+    def test_other_modules_not_checked(self):
+        assert lint(self.SOURCE, path="src/repro/metrics/collectors.py") == []
+
+    def test_documented_defs_pass(self):
+        source = (
+            'class Foo:\n'
+            '    """Doc."""\n'
+            '\n'
+            '    def bar(self):\n'
+            '        """Doc."""\n'
+            '\n'
+            'def baz():\n'
+            '    """Doc."""\n'
+        )
+        assert lint(source, path="src/repro/obs/tracer.py") == []
+
+    def test_private_names_exempt(self):
+        source = "def _helper():\n    pass\n\nclass _Hidden:\n    pass\n"
+        assert lint(source, path="src/repro/obs/export.py") == []
+
+    def test_nested_functions_exempt(self):
+        source = (
+            'def outer():\n'
+            '    """Doc."""\n'
+            '    def inner():\n'
+            '        pass\n'
+        )
+        assert lint(source, path="src/repro/obs/tracer.py") == []
+
+    def test_per_line_suppression(self):
+        source = (
+            "def baz():  # lint: disable=missing-public-docstring\n"
+            "    pass\n"
+        )
+        assert lint(source, path="src/repro/obs/tracer.py") == []

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Documentation checks: intra-repo markdown links and mermaid blocks.
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_docs.py            # checks all tracked *.md files
+    python tools/check_docs.py docs/*.md  # or an explicit list
+
+Two checks, both offline:
+
+* **Links** -- every relative markdown link target (``[x](docs/y.md)``,
+  optionally with a ``#fragment``) must exist on disk, resolved against
+  the linking file's directory.  External schemes (``http(s)://``,
+  ``mailto:``) and pure in-page anchors (``#section``) are skipped.
+* **Mermaid** -- every ````` ```mermaid ````` fence must parse under a
+  lenient structural validator: a known diagram header on the first
+  non-blank line, balanced bracket/paren/brace delimiters per line, and
+  no unterminated quoted strings.  This catches the typo class that
+  breaks rendering (a stray ``]`` or an unclosed label) without
+  needing the real mermaid toolchain.
+
+Exit code 0 when clean, 1 with one ``file:line: message`` row per
+problem otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: Markdown inline link: [text](target) -- ignores images' leading ``!``
+#: by matching them identically (image paths must exist too).
+_LINK_RE = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+_MERMAID_HEADERS = (
+    "flowchart",
+    "graph",
+    "sequenceDiagram",
+    "classDiagram",
+    "stateDiagram",
+    "erDiagram",
+    "gantt",
+    "pie",
+    "journey",
+    "timeline",
+    "mindmap",
+)
+
+_BRACKETS = {"[": "]", "(": ")", "{": "}"}
+_CLOSERS = {v: k for k, v in _BRACKETS.items()}
+
+
+def iter_markdown_files(root: str) -> List[str]:
+    """All ``*.md`` files under ``root``, skipping VCS/cache directories."""
+    found: List[str] = []
+    skip_dirs = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in skip_dirs)
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return found
+
+
+def _strip_code_fences(lines: List[str]) -> List[Tuple[int, str]]:
+    """(lineno, text) pairs with fenced code block contents removed."""
+    kept: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append((lineno, line))
+    return kept
+
+
+def check_links(path: str, lines: List[str]) -> List[str]:
+    """``file:line: message`` rows for broken relative link targets."""
+    problems: List[str] = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, line in _strip_code_fences(lines):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{path}:{lineno}: broken link target {target!r} "
+                    f"(resolved to {resolved})"
+                )
+    return problems
+
+
+def _balanced(line: str) -> bool:
+    """Bracket/paren/brace balance for one mermaid line (quotes opaque)."""
+    stack: List[str] = []
+    in_quote = False
+    for ch in line:
+        if ch == '"':
+            in_quote = not in_quote
+            continue
+        if in_quote:
+            continue
+        if ch in _BRACKETS:
+            stack.append(ch)
+        elif ch in _CLOSERS:
+            if not stack or stack[-1] != _CLOSERS[ch]:
+                return False
+            stack.pop()
+    return not stack and not in_quote
+
+
+def check_mermaid_block(path: str, start_line: int, block: List[str]) -> List[str]:
+    """Validate one mermaid fence's contents (lenient structural parse)."""
+    problems: List[str] = []
+    body = [line for line in block if line.strip()]
+    if not body:
+        problems.append(f"{path}:{start_line}: empty mermaid block")
+        return problems
+    header = body[0].strip().split()[0]
+    if header not in _MERMAID_HEADERS:
+        problems.append(
+            f"{path}:{start_line}: mermaid block starts with {header!r}, "
+            f"expected one of {', '.join(_MERMAID_HEADERS)}"
+        )
+    for offset, line in enumerate(block):
+        if line.strip() and not _balanced(line):
+            problems.append(
+                f"{path}:{start_line + offset + 1}: unbalanced "
+                f"delimiters/quotes in mermaid line: {line.strip()!r}"
+            )
+    return problems
+
+
+def check_mermaid(path: str, lines: List[str]) -> List[str]:
+    """Find and validate every ```mermaid fence in one file."""
+    problems: List[str] = []
+    block: List[str] = []
+    start = 0
+    in_mermaid = False
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_mermaid and stripped.startswith("```mermaid"):
+            in_mermaid = True
+            start = lineno
+            block = []
+            continue
+        if in_mermaid and stripped.startswith("```"):
+            in_mermaid = False
+            problems.extend(check_mermaid_block(path, start, block))
+            continue
+        if in_mermaid:
+            block.append(line)
+    if in_mermaid:
+        problems.append(f"{path}:{start}: unterminated mermaid fence")
+    return problems
+
+
+def check_file(path: str) -> List[str]:
+    """All problems for one markdown file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    return check_links(path, lines) + check_mermaid(path, lines)
+
+
+def run(paths: Iterable[str]) -> int:
+    """Check the given files (or discover *.md under '.'); 0 = clean."""
+    targets = list(paths) or iter_markdown_files(".")
+    problems: List[str] = []
+    for path in targets:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"{len(problems)} problem(s) in {len(targets)} markdown file(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))
