@@ -9,6 +9,10 @@ Commands
 ``lint``       determinism/invariant static analysis over the source tree
 ``profile``    run one protocol under the tracer; write a JSONL trace
                and print the profile summary (see docs/tracing.md)
+``dashboard``  render the self-contained HTML time-series dashboard
+               for one protocol or a protocol comparison
+``regress``    compare fresh runs against the committed baselines
+               under per-metric tolerance bands (CI's drift gate)
 """
 
 from __future__ import annotations
@@ -169,6 +173,50 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments.spec import ExperimentSpec
+    from repro.obs.report import (
+        collect_dashboard_runs,
+        dashboard_filename,
+        render_dashboard,
+        write_dashboard,
+    )
+
+    config = (
+        SimulationConfig.default_scale(seed=args.seed)
+        if args.full
+        else SimulationConfig.smoke_scale(seed=args.seed)
+    )
+    protocols = [args.protocol]
+    for name in args.compare or ():
+        if name not in protocols:
+            protocols.append(name)
+    specs = [
+        ExperimentSpec(protocol=name, config=config, environment=args.environment)
+        for name in protocols
+    ]
+    runs = collect_dashboard_runs(specs, window_s=args.window, jobs=args.jobs)
+    content = render_dashboard(runs, window_s=args.window)
+    path = args.out or os.path.join(args.outdir, dashboard_filename(runs))
+    write_dashboard(path, content)
+    print(f"dashboard: {path} ({len(content)} bytes, {len(runs)} run(s))")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.obs.baseline import run_regression
+
+    return run_regression(
+        baseline_dir=args.baselines,
+        jobs=args.jobs,
+        strict=args.strict,
+        update=args.update,
+        quick=args.quick,
+    )
+
+
 def _cmd_planetlab(args: argparse.Namespace) -> int:
     testbed = PlanetLabTestbed()
     for name in ("pavod", "nettube", "socialtube"):
@@ -260,6 +308,67 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--outdir", default="traces_out", help="directory for the JSONL trace"
     )
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_dash = sub.add_parser(
+        "dashboard", help="self-contained HTML time-series dashboard"
+    )
+    p_dash.add_argument(
+        "protocol", choices=("socialtube", "nettube", "pavod"),
+        help="primary protocol to render",
+    )
+    p_dash.add_argument(
+        "--compare", nargs="*", choices=("socialtube", "nettube", "pavod"),
+        default=(), help="additional protocols overlaid on every chart",
+    )
+    p_dash.add_argument(
+        "--seed", type=int, default=2014,
+        help="RNG seed (accepted after the subcommand for convenience)",
+    )
+    p_dash.add_argument(
+        "--environment", default="peersim", help="named environment (see config)"
+    )
+    p_dash.add_argument(
+        "--full", action="store_true",
+        help="render at the paper's full scale (default: smoke scale)",
+    )
+    p_dash.add_argument(
+        "--window", type=float, default=600.0,
+        help="window width in virtual seconds (default: 600)",
+    )
+    p_dash.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for data collection; the HTML bytes are "
+        "identical either way -- CI diffs them to prove it",
+    )
+    p_dash.add_argument(
+        "--outdir", default="dashboard_out", help="directory for the HTML file"
+    )
+    p_dash.add_argument(
+        "--out", default=None, help="explicit output path (overrides --outdir)"
+    )
+    p_dash.set_defaults(func=_cmd_dashboard)
+
+    p_regress = sub.add_parser(
+        "regress", help="compare fresh runs against committed metric baselines"
+    )
+    p_regress.add_argument(
+        "--baselines", default="baselines", help="baseline directory"
+    )
+    p_regress.add_argument(
+        "--quick", action="store_true", help="only the smoke-scale baselines"
+    )
+    p_regress.add_argument(
+        "--strict", action="store_true",
+        help="treat series-digest drift as a failure, not a warning",
+    )
+    p_regress.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline files from fresh runs",
+    )
+    p_regress.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the reruns"
+    )
+    p_regress.set_defaults(func=_cmd_regress)
 
     p_export = sub.add_parser("export", help="export all figures as CSV/JSON")
     p_export.add_argument("--outdir", default="figures_out")

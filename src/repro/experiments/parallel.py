@@ -206,6 +206,8 @@ class AggregatedResult:
             ("server fallback fraction", "server_fallback_fraction"),
             ("prefetch hit fraction", "prefetch_hit_fraction"),
             ("continuity index", "mean_continuity_index"),
+            ("stalled-watch fraction", "stall_fraction"),
+            ("mean stall ms", "mean_stall_ms"),
         ):
             m, lo, hi = self.intervals[name]
             rows.append(f"  {label}: {m:.4g} [{lo:.4g}, {hi:.4g}]")

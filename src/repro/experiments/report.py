@@ -29,6 +29,9 @@ def render_ci_table(aggregates: Sequence[AggregatedResult]) -> str:
         ("peer_bw_p50", "peer_bandwidth_p50"),
         ("server_frac", "server_fallback_fraction"),
         ("prefetch_hit", "prefetch_hit_fraction"),
+        ("continuity", "mean_continuity_index"),
+        ("stall_frac", "stall_fraction"),
+        ("stall_ms", "mean_stall_ms"),
     )
     for agg in aggregates:
         cells = []

@@ -52,6 +52,7 @@ from repro.net.message import ChunkSource, LookupResult
 from repro.net.streaming import simulate_playback
 from repro.net.server import CentralServer
 from repro.obs.tracer import NULL_TRACER
+from repro.overlay.maintenance import record_link_sample
 from repro.sim.churn import ChurnModel, SessionPlan
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStreams
@@ -131,6 +132,12 @@ class ExperimentRunner:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.bind_clock(lambda: self.scheduler.now)
         self.scheduler.tracer = self.tracer
+        # Time-series runs ask for periodic engine.tick gauge rows; the
+        # period rides on the tracer so one object configures the whole
+        # observation pipeline (see repro.obs.timeseries).
+        tick_every = getattr(self.tracer, "tick_every_s", None)
+        if tick_every:
+            self.scheduler.enable_ticks(tick_every)
         self.latency = self.environment.latency_factory(self._rng_latency)
         self.server = CentralServer(
             self.dataset,
@@ -146,6 +153,7 @@ class ExperimentRunner:
         )
         self.protocol.now_fn = lambda: self.scheduler.now
         self.protocol.tracer = self.tracer
+        self.server.tracer = self.tracer
         self.server.uplink.tracer = self.tracer
         self.selector = VideoSelector(self.dataset, self._rng_workload)
         self.sessions = SessionTracker(
@@ -207,8 +215,19 @@ class ExperimentRunner:
 
     def _serve_request(self, user_id: int, video_id: int):
         """Resolve one video request; returns (startup_delay_s, grant,
-        lookup, prefetch_hit, stall_s)."""
-        with self.tracer.span("request.serve", node=user_id, video=video_id):
+        lookup, prefetch_hit, stall_s).
+
+        The span carries ``cluster`` -- the requested video's interest
+        category, i.e. the paper's per-community unit -- so the
+        time-series layer can attribute request load per cluster
+        without a dataset in hand at replay time.
+        """
+        with self.tracer.span(
+            "request.serve",
+            node=user_id,
+            video=video_id,
+            cluster=self.dataset.category_of_video(video_id),
+        ):
             return self._serve_request_inner(user_id, video_id)
 
     def _serve_request_inner(self, user_id: int, video_id: int):
@@ -403,9 +422,9 @@ class ExperimentRunner:
         self.protocol.on_watch_finished(user_id, video_id)
         self.protocol.on_maintenance(user_id)
         video_index = self.sessions.record_video(user_id)
-        self.metrics.record_overhead(
-            user_id, video_index, self.protocol.link_count(user_id)
-        )
+        links = self.protocol.link_count(user_id)
+        self.metrics.record_overhead(user_id, video_index, links)
+        record_link_sample(self.tracer, user_id, links, video_index)
         if self.sessions.session_finished(user_id):
             self._end_session(user_id)
         else:

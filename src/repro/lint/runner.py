@@ -76,7 +76,13 @@ def _is_protocol_registry(path: str) -> bool:
 
 
 def _requires_public_docstrings(path: str) -> bool:
-    """The API-surface files held to missing-public-docstring."""
+    """The API-surface files held to missing-public-docstring.
+
+    The ``/obs/`` entry scopes the whole observability package --
+    tracer/export (PR 3) and timeseries/report/baseline alike -- so
+    new obs modules are covered the day they appear
+    (``tests/test_lint_rules.py`` pins the roster).
+    """
     normalized = path.replace(os.sep, "/")
     return (
         "/obs/" in normalized

@@ -23,6 +23,7 @@ from random import Random
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.net.bandwidth import SharedUploadLink
+from repro.obs.tracer import NULL_TRACER
 
 
 class CentralServer:
@@ -55,6 +56,17 @@ class CentralServer:
         self.requests_served = 0
         self.tracker_lookups = 0
         self.subscription_reports = 0
+        #: Optional repro.obs tracer (set by the experiment runner).
+        #: When truthy, every fallback serve and tracker lookup emits a
+        #: trace event -- the raw feed behind the server-load time
+        #: series (Figs 9-11 are trends of exactly this quantity).
+        self.tracer = NULL_TRACER
+
+    def _count_lookup(self, kind: str) -> None:
+        """Count one tracker lookup and trace it (``server.lookup``)."""
+        self.tracker_lookups += 1
+        if self.tracer:
+            self.tracer.event("server.lookup", kind=kind)
 
     # -- presence ----------------------------------------------------------
 
@@ -103,7 +115,7 @@ class CentralServer:
         self, channel_id: int, exclude: Optional[int] = None
     ) -> Optional[int]:
         """A uniformly random online member of the channel overlay."""
-        self.tracker_lookups += 1
+        self._count_lookup("channel-member")
         members = self._channel_members.get(channel_id)
         if not members:
             return None
@@ -125,7 +137,7 @@ class CentralServer:
         occupied channels than ``limit``, additional members of the same
         channels are handed out rather than returning short.
         """
-        self.tracker_lookups += 1
+        self._count_lookup("category-bootstrap")
         channels = list(self.catalog.channels_of_category(category_id))
         self._rng.shuffle(channels)
         pools: List[List[int]] = []
@@ -162,7 +174,7 @@ class CentralServer:
         higher-level overlay of the video's interest".  The scan is
         bounded to keep the server's work per request constant.
         """
-        self.tracker_lookups += 1
+        self._count_lookup("category-holder")
         scanned = 0
         channels = list(self.catalog.channels_of_category(category_id))
         self._rng.shuffle(channels)
@@ -193,7 +205,7 @@ class CentralServer:
         self, video_id: int, count: int, exclude: Optional[int] = None
     ) -> List[int]:
         """Up to ``count`` random members of a per-video overlay."""
-        self.tracker_lookups += 1
+        self._count_lookup("video-overlay")
         members = [m for m in self._video_overlay_members.get(video_id, ()) if m != exclude]
         if len(members) <= count:
             return members
@@ -210,7 +222,7 @@ class CentralServer:
         self._current_watchers[video_id].discard(node_id)
 
     def current_watchers(self, video_id: int, exclude: Optional[int] = None) -> List[int]:
-        self.tracker_lookups += 1
+        self._count_lookup("current-watchers")
         return [w for w in self._current_watchers.get(video_id, ()) if w != exclude]
 
     # -- popularity oracle ----------------------------------------------------
@@ -228,6 +240,19 @@ class CentralServer:
     # -- fallback video source -------------------------------------------------
 
     def serve(self, bits: float):
-        """Admit one download on the server uplink; returns the grant."""
+        """Admit one download on the server uplink; returns the grant.
+
+        When a tracer is wired, each serve also emits a
+        ``server.request`` event carrying the post-admission load
+        (``active`` concurrent transfers) -- the live feed behind the
+        "server load relief as overlays warm up" time series.
+        """
         self.requests_served += 1
-        return self.uplink.admit(bits)
+        grant = self.uplink.admit(bits)
+        if self.tracer:
+            self.tracer.event(
+                "server.request",
+                bits=bits,
+                active=self.uplink.active_transfers,
+            )
+        return grant

@@ -80,8 +80,15 @@ class NullTracer:
     def __bool__(self) -> bool:
         return False
 
+    #: Mirrors :attr:`Tracer.tick_every_s`; always None here (the null
+    #: tracer never asks the engine for window ticks).
+    tick_every_s = None
+
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """No-op; the null tracer never reads a clock."""
+
+    def set_sink(self, sink: Optional[Callable[[Dict[str, Any]], None]]) -> None:
+        """No-op; the null tracer emits no rows to stream."""
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         """Return the shared no-op context manager."""
@@ -162,12 +169,17 @@ class Tracer:
     """
 
     __slots__ = ("_clock", "_rows", "_counters", "_hists", "_stack",
-                 "_next_span", "_begin_times")
+                 "_next_span", "_begin_times", "_sink", "tick_every_s")
 
     #: Mirrors :attr:`NullTracer.enabled`; always True here.
     enabled = True
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        tick_every_s: Optional[float] = None,
+    ):
         self._clock: Callable[[], float] = clock or (lambda: 0.0)
         self._rows: List[Dict[str, Any]] = []
         self._counters: Dict[str, float] = {}
@@ -175,10 +187,25 @@ class Tracer:
         self._stack: List[int] = []
         self._next_span = 0
         self._begin_times: Dict[int, float] = {}
+        self._sink = sink
+        #: When set, the experiment runner asks the engine to emit one
+        #: ``engine.tick`` row per ``tick_every_s`` of virtual time (the
+        #: gauge samples behind repro.obs.timeseries); None disables.
+        self.tick_every_s = tick_every_s
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Point timestamps at a (virtual) clock, e.g. ``lambda: sched.now``."""
         self._clock = clock
+
+    def set_sink(self, sink: Optional[Callable[[Dict[str, Any]], None]]) -> None:
+        """Stream every future row to ``sink(row)`` as it is emitted.
+
+        The sink sees exactly the rows :meth:`rows` accumulates, in the
+        same order and at emission time -- the live feed consumed by
+        :class:`repro.obs.timeseries.TimeSeriesCollector`.  Rows must be
+        treated as read-only: mutating them would corrupt the trace.
+        """
+        self._sink = sink
 
     # -- spans ---------------------------------------------------------------
 
@@ -205,6 +232,8 @@ class Tracer:
         if attrs:
             row["attrs"] = attrs
         self._rows.append(row)
+        if self._sink is not None:
+            self._sink(row)
         self._begin_times[span_id] = now
         if attach:
             self._stack.append(span_id)
@@ -253,6 +282,8 @@ class Tracer:
         if attrs:
             row["attrs"] = attrs
         self._rows.append(row)
+        if self._sink is not None:
+            self._sink(row)
         if span_id in self._stack:
             self._stack.remove(span_id)
 
@@ -271,6 +302,8 @@ class Tracer:
         if attrs:
             row["attrs"] = attrs
         self._rows.append(row)
+        if self._sink is not None:
+            self._sink(row)
 
     def count(self, name: str, delta: float = 1) -> None:
         """Add ``delta`` to a named counter (aggregated, not per-row)."""

@@ -25,6 +25,21 @@ from typing import Dict, List, Sequence, Tuple
 DEFAULT_PROBE_PERIOD_S = 600.0
 
 
+def record_link_sample(tracer, node: int, links: int, video_index: int) -> None:
+    """Emit one ``overlay.links`` gauge sample for a node's link count.
+
+    Called by the experiment runner after every finished watch (the same
+    moment the Fig 18 collector samples), so a traced run carries the
+    raw per-node link-count series.  :mod:`repro.obs.timeseries` folds
+    these samples into the windowed ``overlay_links`` total -- the
+    maintenance-overhead-over-time view (Fig 18's trend, and the link
+    count :func:`estimate_probe_traffic` prices).  No-op when ``tracer``
+    is falsy.
+    """
+    if tracer:
+        tracer.event("overlay.links", node=node, links=links, index=video_index)
+
+
 @dataclass
 class ProbeTrafficEstimate:
     """Probe-message cost for one protocol over one session."""

@@ -106,6 +106,11 @@ class EventScheduler:
         #: check at the coarse instrumentation points and nothing in
         #: ``step``; timestamps it records are this scheduler's ``now``.
         self.tracer = NULL_TRACER
+        #: Virtual-time tick period (seconds) for the ``engine.tick``
+        #: gauge rows consumed by repro.obs.timeseries; None disables
+        #: and keeps ``step`` tick-free.  Set via :meth:`enable_ticks`.
+        self._tick_every: Optional[float] = None
+        self._next_tick = 0.0
 
     @property
     def now(self) -> float:
@@ -158,6 +163,27 @@ class EventScheduler:
         if self.tracer:
             self.tracer.event("engine.compact", live=len(self._heap))
 
+    def enable_ticks(self, period_s: float) -> None:
+        """Emit one ``engine.tick`` trace row per ``period_s`` virtual seconds.
+
+        The tick is the engine-level gauge feed of the time-series
+        layer: each row samples ``pending`` (live heap entries) and
+        ``events`` (events processed so far).  Ticks piggyback on event
+        execution -- no extra events are scheduled, so enabling them
+        never perturbs event ordering, RNG consumption, or metrics; a
+        window without events simply produces no tick and the series
+        layer carries the last gauge forward.
+        """
+        if period_s <= 0:
+            raise SimulationError("tick period must be positive")
+        self._tick_every = float(period_s)
+        self._next_tick = self._next_tick_after(self._now)
+
+    def _next_tick_after(self, now: float) -> float:
+        """First tick boundary strictly after ``now`` (period multiples)."""
+        period = self._tick_every or 0.0
+        return (int(now // period) + 1) * period
+
     def stop(self) -> None:
         """Stop a running :meth:`run_until` / :meth:`run` loop after the
         current event finishes."""
@@ -189,6 +215,14 @@ class EventScheduler:
                 self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
+            if self._tick_every is not None and self._now >= self._next_tick:
+                if self.tracer:
+                    self.tracer.event(
+                        "engine.tick",
+                        pending=self._pending,
+                        events=self.events_processed,
+                    )
+                self._next_tick = self._next_tick_after(self._now)
             event.fired = True
             self._pending -= 1
             self.events_processed += 1

@@ -30,10 +30,18 @@ class SessionTracker:
         self.sessions_per_user = sessions_per_user
         self.videos_per_session = videos_per_session
         self._progress: Dict[int, _UserProgress] = {}
+        self._active = 0
         #: Optional repro.obs tracer: session begin/end trace events
-        #: carry the per-user session index, the raw series behind
-        #: Fig 18's "links vs videos watched" accounting.
+        #: carry the per-user session index plus the population-wide
+        #: ``active`` gauge, the raw series behind Fig 18's "links vs
+        #: videos watched" accounting and the active-sessions time
+        #: series of repro.obs.timeseries.
         self.tracer = tracer
+
+    @property
+    def active_count(self) -> int:
+        """Number of users currently inside a session (the churn gauge)."""
+        return self._active
 
     def _of(self, user_id: int) -> _UserProgress:
         progress = self._progress.get(user_id)
@@ -48,9 +56,13 @@ class SessionTracker:
             raise RuntimeError(f"user {user_id} already in a session")
         progress.in_session = True
         progress.videos_this_session = 0
+        self._active += 1
         if self.tracer:
             self.tracer.event(
-                "session.begin", user=user_id, index=progress.sessions_done + 1
+                "session.begin",
+                user=user_id,
+                index=progress.sessions_done + 1,
+                active=self._active,
             )
 
     def record_video(self, user_id: int) -> int:
@@ -71,12 +83,14 @@ class SessionTracker:
             raise RuntimeError(f"user {user_id} is not in a session")
         progress.in_session = False
         progress.sessions_done += 1
+        self._active -= 1
         if self.tracer:
             self.tracer.event(
                 "session.end",
                 user=user_id,
                 index=progress.sessions_done,
                 videos=progress.videos_this_session,
+                active=self._active,
             )
 
     def all_sessions_done(self, user_id: int) -> bool:

@@ -103,3 +103,40 @@ class TestMermaidChecker:
         page.write_text("```mermaid\n```\n")
         problems = check_docs.check_file(str(page))
         assert any("empty mermaid block" in p for p in problems)
+
+
+class TestTableChecker:
+    def test_well_formed_table_passes(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("| a | b |\n| --- | --- |\n| 1 | 2 |\n")
+        assert check_docs.check_file(str(page)) == []
+
+    def test_missing_separator_flagged(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("| a | b |\n| 1 | 2 |\n| 3 | 4 |\n")
+        problems = check_docs.check_file(str(page))
+        assert any("separator" in p for p in problems)
+
+    def test_ragged_row_flagged_with_line_number(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("| a | b |\n| --- | --- |\n| 1 | 2 |\n| only one |\n")
+        problems = check_docs.check_file(str(page))
+        assert len(problems) == 1
+        assert problems[0].startswith(f"{page}:4:")
+        assert "1 cell(s), header has 2" in problems[0]
+
+    def test_escaped_pipe_is_one_cell(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("| a | b |\n| --- | --- |\n| x \\| y | 2 |\n")
+        assert check_docs.check_file(str(page)) == []
+
+    def test_tables_inside_code_fences_ignored(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```\n| not | a |\n| real | table |\n```\n")
+        assert check_docs.check_file(str(page)) == []
+
+    def test_trailing_table_at_eof_checked(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("text\n\n| a | b |\n| --- | --- |\n| 1 | 2 | 3 |")
+        problems = check_docs.check_file(str(page))
+        assert any("3 cell(s), header has 2" in p for p in problems)

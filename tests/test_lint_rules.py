@@ -383,6 +383,21 @@ class TestMissingPublicDocstringRule:
         ):
             assert len(lint(self.SOURCE, path=path)) == 3
 
+    def test_every_obs_module_is_in_scope(self):
+        """The /obs/ entry covers the whole package roster -- the
+        timeseries/report/baseline modules are held to the rule just
+        like tracer/export, and future obs modules will be too."""
+        for path in (
+            "src/repro/obs/timeseries.py",
+            "src/repro/obs/report.py",
+            "src/repro/obs/baseline.py",
+            "src/repro/obs/export.py",
+            "src/repro/obs/anything_added_later.py",
+        ):
+            findings = lint(self.SOURCE, path=path)
+            assert rules_of(findings) == ["missing-public-docstring"], path
+            assert len(findings) == 3, path
+
     def test_other_modules_not_checked(self):
         assert lint(self.SOURCE, path="src/repro/metrics/collectors.py") == []
 

@@ -31,6 +31,22 @@ class TestRecording:
         with pytest.raises(ValueError):
             _collector().record_chunks(1, ChunkSource.PEER, -1)
 
+    def test_peer_transfer_failures_by_user(self):
+        collector = _collector()
+        assert collector.peer_transfer_failures_by_user() == {}
+        for user_id in (3, 1, 3, 3, 7):
+            collector.record_peer_transfer_failure(user_id)
+        by_user = collector.peer_transfer_failures_by_user()
+        assert by_user == {1: 1, 3: 3, 7: 1}
+        assert sum(by_user.values()) == collector.peer_transfer_failures
+
+    def test_peer_transfer_failures_snapshot_is_detached(self):
+        collector = _collector()
+        collector.record_peer_transfer_failure(5)
+        snapshot = collector.peer_transfer_failures_by_user()
+        snapshot[5] = 99
+        assert collector.peer_transfer_failures_by_user() == {5: 1}
+
     def test_fractions(self):
         collector = _collector()
         for from_server, from_cache, prefetch in (

@@ -110,6 +110,28 @@ class TestProfileSummary:
         summary = ProfileSummary.from_rows(self._rows())
         assert summary.node_hotspots == [(2, 2), (1, 1)]
 
+    def test_node_hotspot_ties_break_on_node_id(self):
+        """Equal row counts rank by ascending node id, so the top-N
+        cut is deterministic across runs regardless of dict order."""
+        rows = [
+            {"kind": "event", "t": 0.0, "name": "x", "attrs": {"node": n}}
+            for n in (9, 2, 7, 2, 9, 7)
+        ]
+        summary = ProfileSummary.from_rows(rows)
+        assert summary.node_hotspots == [(2, 2), (7, 2), (9, 2)]
+        reversed_summary = ProfileSummary.from_rows(list(reversed(rows)))
+        assert reversed_summary.node_hotspots == summary.node_hotspots
+
+    def test_node_hotspot_tie_straddling_top_n_cut(self):
+        """When the tie straddles the top-N boundary the lower id
+        survives the cut -- the ordering contract, not luck."""
+        rows = [
+            {"kind": "event", "t": 0.0, "name": "x", "attrs": {"node": n}}
+            for n in (5, 3, 8)
+        ]
+        summary = ProfileSummary.from_rows(rows, top_nodes=2)
+        assert summary.node_hotspots == [(3, 1), (5, 1)]
+
     def test_header_and_footers_tolerated(self, spec):
         payload = trace_to_jsonl_bytes(
             trace_header(spec), self._rows(), counters={"reqs": 5}

@@ -1,0 +1,136 @@
+"""Dashboard rendering: deterministic, self-contained, well-formed.
+
+The dashboard is a CI artifact diffed byte-for-byte across worker
+layouts, so rendering must be a pure function of the
+:class:`DashboardRun` list.  Structure checks keep the output honest:
+inline SVG only, no external resources, legends exactly when two or
+more series share a plot, and the scalar table carrying the playback
+continuity columns.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.spec import ExperimentSpec
+from repro.obs.report import (
+    CHART_METRICS,
+    SCALAR_COLUMNS,
+    DashboardRun,
+    _fmt,
+    _nice_ceiling,
+    collect_dashboard_runs,
+    dashboard_filename,
+    dashboard_run,
+    render_dashboard,
+    write_dashboard,
+)
+from repro.obs.timeseries import DEFAULT_WINDOW_S
+
+
+@pytest.fixture(scope="module")
+def specs():
+    config = SimulationConfig.smoke_scale()
+    return [
+        ExperimentSpec(protocol="socialtube", config=config),
+        ExperimentSpec(protocol="pavod", config=config),
+    ]
+
+
+@pytest.fixture(scope="module")
+def runs(specs):
+    return collect_dashboard_runs(specs, window_s=DEFAULT_WINDOW_S, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def html(runs):
+    return render_dashboard(runs, window_s=DEFAULT_WINDOW_S)
+
+
+def test_rendering_is_deterministic(runs, html):
+    assert render_dashboard(runs, window_s=DEFAULT_WINDOW_S) == html
+
+
+def test_pooled_collection_renders_identically(specs, html):
+    pooled = collect_dashboard_runs(specs, window_s=DEFAULT_WINDOW_S, jobs=2)
+    assert render_dashboard(pooled, window_s=DEFAULT_WINDOW_S) == html
+
+
+def test_dashboard_is_self_contained(html):
+    """Zero runtime deps: no scripts, no external fetches of any kind."""
+    lowered = html.lower()
+    assert lowered.startswith("<!doctype html>")
+    assert "<script" not in lowered
+    assert 'src="http' not in lowered and "href=\"http" not in lowered
+    assert "@import" not in lowered and "url(" not in lowered
+
+
+def test_every_chart_metric_has_a_card(html):
+    for metric, _title, _hint in CHART_METRICS:
+        assert f'id="m-{metric}"' in html
+    assert html.count("<svg") >= len(CHART_METRICS)
+
+
+def test_scalar_table_has_continuity_columns(html, runs):
+    names = [name for name, _label in SCALAR_COLUMNS]
+    assert "mean_continuity_index" in names
+    assert "stall_fraction" in names
+    assert "mean_stall_ms" in names
+    for run in runs:
+        assert run.protocol in html
+
+
+def test_legend_present_only_for_multi_series(runs):
+    both = render_dashboard(runs, window_s=DEFAULT_WINDOW_S)
+    solo = render_dashboard(runs[:1], window_s=DEFAULT_WINDOW_S)
+    assert 'class="legend"' in both
+    # one protocol, one series per metric chart: title names it, no
+    # legend box (cluster charts may still be multi-series)
+    metric_chart = solo.split('id="m-server_share"')[1].split('class="card"')[0]
+    assert 'class="legend"' not in metric_chart
+
+
+def test_polyline_points_stay_in_viewbox(html):
+    import re
+
+    for points in re.findall(r'points="([^"]+)"', html):
+        for pair in points.split():
+            x, y = pair.split(",")
+            assert 0.0 <= float(x) <= 560.0
+            assert 0.0 <= float(y) <= 240.0
+
+
+def test_dashboard_filename_keys_protocols_and_hash(runs):
+    name = dashboard_filename(runs)
+    assert name.startswith("dashboard_socialtube_vs_pavod_")
+    assert name.endswith(".html")
+    assert runs[0].content_hash[:12] in name
+
+
+def test_write_dashboard_roundtrip(tmp_path, html):
+    path = write_dashboard(str(tmp_path / "sub" / "dash.html"), html)
+    with open(path, "r", encoding="utf-8") as handle:
+        assert handle.read() == html
+
+
+def test_dashboard_run_carries_identity(specs):
+    run = dashboard_run(specs[0], window_s=DEFAULT_WINDOW_S)
+    assert isinstance(run, DashboardRun)
+    assert run.protocol == "socialtube"
+    assert run.content_hash == specs[0].content_hash()
+    assert run.table.num_windows > 0
+    assert set(run.scalars) == {name for name, _label in SCALAR_COLUMNS}
+
+
+def test_fmt_is_human_scale():
+    assert _fmt(1234567) == "1,234,567"
+    assert _fmt(0.1234) == "0.123"
+    assert _fmt(42.25) == "42.2"
+    assert _fmt(1234.5) == "1,234"
+
+
+def test_nice_ceiling_snaps_up():
+    assert _nice_ceiling(0.0) == 1.0
+    assert _nice_ceiling(3.2) == 5.0
+    assert _nice_ceiling(49.0) == 50.0
+    assert _nice_ceiling(51.0) == 100.0
+    assert _nice_ceiling(0.7) == 1.0

@@ -18,6 +18,11 @@ Two checks, both offline:
   no unterminated quoted strings.  This catches the typo class that
   breaks rendering (a stray ``]`` or an unclosed label) without
   needing the real mermaid toolchain.
+* **Tables** -- every pipe table (consecutive ``|``-prefixed lines
+  outside code fences) needs a ``---`` separator as its second row and
+  the same cell count on every row; a dropped ``|`` silently shifts
+  every column to the right of it, which is exactly the corruption the
+  field-catalogue tables in docs/tracing.md cannot afford.
 
 Exit code 0 when clean, 1 with one ``file:line: message`` row per
 problem otherwise.
@@ -166,11 +171,69 @@ def check_mermaid(path: str, lines: List[str]) -> List[str]:
     return problems
 
 
+def _table_cells(line: str) -> int:
+    """Cell count of one pipe-table row (outer pipes stripped)."""
+    body = line.strip().strip("|")
+    cells = 0
+    escaped = False
+    for ch in body:
+        if escaped:
+            escaped = False
+            continue
+        if ch == "\\":
+            escaped = True
+            continue
+        if ch == "|":
+            cells += 1
+    return cells + 1
+
+
+def _is_separator_row(line: str) -> bool:
+    """Whether a row is the ``| --- | --- |`` header separator."""
+    body = line.strip().strip("|")
+    parts = [part.strip() for part in body.split("|")]
+    return all(part and set(part) <= {"-", ":"} for part in parts)
+
+
+def check_tables(path: str, lines: List[str]) -> List[str]:
+    """``file:line: message`` rows for malformed pipe tables."""
+    problems: List[str] = []
+    block: List[Tuple[int, str]] = []
+    kept = _strip_code_fences(lines)
+    kept.append((len(lines) + 1, ""))  # sentinel flushes a trailing table
+    for lineno, line in kept:
+        if line.strip().startswith("|"):
+            block.append((lineno, line))
+            continue
+        if len(block) >= 2:
+            start, _header = block[0]
+            if not _is_separator_row(block[1][1]):
+                problems.append(
+                    f"{path}:{start}: table is missing its '---' "
+                    "separator as the second row"
+                )
+            else:
+                width = _table_cells(block[0][1])
+                for row_line, row in block[2:]:
+                    if _table_cells(row) != width:
+                        problems.append(
+                            f"{path}:{row_line}: table row has "
+                            f"{_table_cells(row)} cell(s), header has "
+                            f"{width}"
+                        )
+        block = []
+    return problems
+
+
 def check_file(path: str) -> List[str]:
     """All problems for one markdown file."""
     with open(path, "r", encoding="utf-8") as handle:
         lines = handle.read().splitlines()
-    return check_links(path, lines) + check_mermaid(path, lines)
+    return (
+        check_links(path, lines)
+        + check_mermaid(path, lines)
+        + check_tables(path, lines)
+    )
 
 
 def run(paths: Iterable[str]) -> int:
