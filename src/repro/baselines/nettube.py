@@ -125,6 +125,38 @@ class NetTubeProtocol(VodProtocol):
         peer.online = False
         self.server.node_offline(user_id)
 
+    def on_crash(self, user_id: int) -> None:
+        """Abrupt death: per-video overlay links stay dangling.
+
+        The tracker purge (``node_offline``) still happens -- the server
+        notices the dead TCP connection -- but no goodbye reaches the
+        overlay neighbors, so every per-video link the node held lingers
+        in the survivors' tables until :meth:`repair_after_crash` (or a
+        survivor's own probe cycle) removes it.
+        """
+        peer = self.state(user_id)
+        peer.online = False
+        self.server.node_offline(user_id)
+
+    def repair_after_crash(self, user_id: int) -> int:
+        """Sweep the dead node's links out of every overlay it was in.
+
+        Survivors whose link budget freed up refill on their next probe
+        cycle.  A no-op when the node rejoined before the repair window
+        elapsed (it kept its memberships, so its links are live again).
+        """
+        if self._is_alive(user_id):
+            return 0
+        repaired = 0
+        for video_id in sorted(self._memberships.get(user_id, ())):
+            table = self._overlay(video_id)
+            for neighbor in table.neighbors(user_id):
+                table.disconnect(user_id, neighbor)
+                if self._is_alive(neighbor):
+                    repaired += 1
+        self._memberships.pop(user_id, None)
+        return repaired
+
     # -- search ---------------------------------------------------------------------
 
     def locate(self, user_id: int, video_id: int) -> LookupResult:

@@ -115,9 +115,49 @@ class VodProtocol(ABC):
     def on_session_end(self, user_id: int) -> None:
         """The user logged off; leave overlays gracefully."""
 
+    def on_crash(self, user_id: int) -> None:
+        """The node died abruptly (crash-churn, see repro.faults).
+
+        Default: identical to a graceful logoff -- correct for
+        protocols without standing links (PA-VoD).  Protocols with
+        overlay link state override this to leave the dead node's links
+        *dangling* until :meth:`repair_after_crash` runs, which is the
+        failure mode the paper's probe cycle exists to repair.
+        """
+        self.on_session_end(user_id)
+
+    def repair_after_crash(self, user_id: int) -> int:
+        """Crash-repair sweep, one repair window after ``user_id`` died.
+
+        Survivors drop their links to the dead node and re-link within
+        their budget.  Returns the number of surviving neighbors
+        repaired (0 by default -- no link state to heal).
+        """
+        return 0
+
     @abstractmethod
     def locate(self, user_id: int, video_id: int) -> LookupResult:
         """Find a provider for ``video_id`` (Algorithm 1 or equivalent)."""
+
+    def relocate(self, user_id: int, video_id: int) -> LookupResult:
+        """Re-search for a *replacement* provider after an interruption.
+
+        Identical to :meth:`locate` except the requester's own copy is
+        masked for the duration of the search: the consumer cached the
+        video at watch start (the download-completes-early assumption),
+        but a crashed provider means the local copy is incomplete, so a
+        cache hit must not satisfy the failover.  Only ever called on
+        fault-injected runs.
+        """
+        peer = self.state(user_id)
+        had_copy = video_id in peer.cache
+        if had_copy:
+            peer.cache.discard(video_id)
+        try:
+            return self.locate(user_id, video_id)
+        finally:
+            if had_copy:
+                peer.cache.add(video_id)
 
     def on_watch_started(self, user_id: int, video_id: int) -> None:
         """Playback began; default marks the current video and caches it.

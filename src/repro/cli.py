@@ -13,6 +13,9 @@ Commands
                for one protocol or a protocol comparison
 ``regress``    compare fresh runs against the committed baselines
                under per-metric tolerance bands (CI's drift gate)
+``chaos``      run one protocol under the demo fault plan (crash
+               churn, query loss, slow peers, brownouts) and write the
+               canonical recovery time-series (see docs/tracing.md)
 """
 
 from __future__ import annotations
@@ -205,6 +208,54 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_worker(task) -> "tuple":
+    """Pool worker: one fault-injected spec -> (canonical table bytes, report)."""
+    from repro.experiments.trace_cache import shared_trace_cache
+    from repro.obs.timeseries import run_with_timeseries
+
+    spec, window_s = task
+    run = run_with_timeseries(
+        spec,
+        window_s=window_s,
+        dataset=shared_trace_cache.dataset_for(spec.config.trace),
+    )
+    return run.table.to_canonical_json(), "\n".join(run.result.render_rows())
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import multiprocessing
+    import os
+
+    from repro.experiments.spec import ExperimentSpec
+    from repro.faults.plan import FaultPlan
+
+    config = (
+        SimulationConfig.default_scale(seed=args.seed)
+        if args.full
+        else SimulationConfig.smoke_scale(seed=args.seed)
+    )
+    spec = ExperimentSpec(
+        protocol=args.protocol, config=config, environment=args.environment
+    ).with_faults(FaultPlan.demo())
+    task = (spec, args.window)
+    if args.jobs > 1:
+        with multiprocessing.Pool(processes=min(args.jobs, 2)) as pool:
+            payload, report = pool.map(_chaos_worker, [task], chunksize=1)[0]
+    else:
+        payload, report = _chaos_worker(task)
+    path = args.out or os.path.join(
+        args.outdir, f"chaos_{spec.protocol}_{spec.content_hash()[:16]}.json"
+    )
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    print(report)
+    print(f"timeseries: {path} ({len(payload)} bytes)")
+    return 0
+
+
 def _cmd_regress(args: argparse.Namespace) -> int:
     from repro.obs.baseline import run_regression
 
@@ -369,6 +420,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=1, help="worker processes for the reruns"
     )
     p_regress.set_defaults(func=_cmd_regress)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injected run: crash churn + mid-stream failover"
+    )
+    p_chaos.add_argument(
+        "protocol", choices=("socialtube", "nettube", "pavod"),
+        help="protocol stack to run under the demo fault plan",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=2014,
+        help="RNG seed (accepted after the subcommand for convenience)",
+    )
+    p_chaos.add_argument(
+        "--environment", default="peersim", help="named environment (see config)"
+    )
+    p_chaos.add_argument(
+        "--full", action="store_true",
+        help="run at the paper's full scale (default: smoke scale)",
+    )
+    p_chaos.add_argument(
+        "--window", type=float, default=600.0,
+        help="window width in virtual seconds (default: 600)",
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=1,
+        help="run via the process-pool path (>1); the time-series bytes "
+        "are identical either way -- CI diffs them to prove it",
+    )
+    p_chaos.add_argument(
+        "--outdir", default="chaos_out", help="directory for the series JSON"
+    )
+    p_chaos.add_argument(
+        "--out", default=None, help="explicit output path (overrides --outdir)"
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_export = sub.add_parser("export", help="export all figures as CSV/JSON")
     p_export.add_argument("--outdir", default="figures_out")

@@ -91,6 +91,28 @@ class SocialTubeProtocol(VodProtocol):
         peer.online = False
         self.server.node_offline(user_id)
 
+    def on_crash(self, user_id: int) -> None:
+        """Abrupt death: neighbors' links to the node stay dangling.
+
+        Unlike :meth:`on_session_end`, the dead node sends no goodbye,
+        so its inner/inter links linger in the survivors' tables until
+        the repair sweep (or a survivor's own probe cycle) removes them
+        -- the failure mode Section IV-A's probe cycle exists to heal.
+        """
+        peer = self.state(user_id)
+        self.structure.crash(user_id)
+        peer.online = False
+        self.server.node_offline(user_id)
+
+    def repair_after_crash(self, user_id: int) -> int:
+        """Sweep the dead node's dangling links; survivors re-link.
+
+        Returns the number of surviving neighbors repaired.  A no-op
+        when the node rejoined before the repair window elapsed (its
+        old links are live again).
+        """
+        return self.structure.repair_crashed(user_id, self._is_alive)
+
     def ensure_in_channel(self, user_id: int, channel_id: int) -> None:
         """Place the node in the right channel overlay before a request."""
         current = self.structure.current_channel(user_id)

@@ -21,7 +21,7 @@ connects to the video provider ... until the number reaches N_l").
 from __future__ import annotations
 
 from random import Random
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.net.server import CentralServer
 from repro.overlay.links import LinkTable
@@ -66,6 +66,11 @@ class HierarchicalStructure:
         #: connect to its previous neighbors").
         self._previous_inner: Dict[int, List[int]] = {}
         self._previous_inter: Dict[int, List[int]] = {}
+        #: Nodes that crashed abruptly and whose dangling links await
+        #: the crash-repair sweep.  The invariant checker tolerates
+        #: violations involving these nodes (an in-flight repair is not
+        #: a corrupted structure); see repro.lint.invariants.
+        self.pending_repairs: Set[int] = set()
 
     # -- queries -----------------------------------------------------------
 
@@ -147,6 +152,53 @@ class HierarchicalStructure:
         self.inner.drop_all(node_id)
         self.inter.drop_all(node_id)
         self.channel_of[node_id] = None
+
+    def crash(self, node_id: int) -> None:
+        """Abrupt departure: the node vanishes *without* notifying anyone.
+
+        Unlike :meth:`leave`, the link tables are left intact -- every
+        surviving neighbor still holds a link to the dead node (the
+        dangling-link state the paper's probe cycle detects).  The
+        tracker forgets the node immediately (its lease lapses via
+        ``server.node_offline``, handled by the protocol), but peer link
+        state heals only when :meth:`repair_crashed` runs at the end of
+        the repair window.  Previous-neighbor memory is still recorded
+        so the node can attempt reconnection on its next session.
+        """
+        self._previous_inner[node_id] = self.inner.neighbors(node_id)
+        self._previous_inter[node_id] = self.inter.neighbors(node_id)
+        channel = self.channel_of.get(node_id)
+        if channel is not None:
+            self.server.unregister_channel_member(channel, node_id)
+        self.channel_of[node_id] = None
+        self.pending_repairs.add(node_id)
+
+    def repair_crashed(
+        self, node_id: int, is_alive: Callable[[int], bool]
+    ) -> int:
+        """Crash-repair sweep: survivors shed the dead link and re-link.
+
+        Runs one repair window after :meth:`crash`.  Every surviving
+        neighbor drops its link to the dead node and tops its budget
+        back up through the regular maintenance path (which respects
+        the ``N_l``/``N_h`` bounds by construction).  The dead node's
+        own rows are cleared last.  Returns the number of surviving
+        neighbors repaired; idempotent, and a no-op for nodes that
+        were never crashed (or already repaired).
+        """
+        if node_id not in self.pending_repairs:
+            return 0  # never crashed, already repaired, or rejoined since
+        repaired = 0
+        for table in (self.inner, self.inter):
+            for neighbor in table.neighbors(node_id):
+                table.disconnect(node_id, neighbor)
+                if is_alive(neighbor):
+                    self.maintain(neighbor, is_alive)
+                    repaired += 1
+        self.inner.drop_all(node_id)
+        self.inter.drop_all(node_id)
+        self.pending_repairs.discard(node_id)
+        return repaired
 
     def rejoin(
         self,
@@ -255,6 +307,10 @@ class HierarchicalStructure:
 
     def _register(self, node_id: int, channel_id: int) -> None:
         self.server.register_channel_member(channel_id, node_id)
+        # A crashed node that comes back before its repair window
+        # elapsed is whole again: its old links are live links now, so
+        # the pending sweep (keyed on this set) must become a no-op.
+        self.pending_repairs.discard(node_id)
 
     def _leave_channel_level(self, node_id: int) -> None:
         channel = self.channel_of.get(node_id)

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.baselines.protocol import PeerState
 from repro.experiments.config import (
@@ -46,19 +46,55 @@ from repro.experiments.config import (
 from repro.experiments.registry import create_protocol, resolve_params
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.trace_cache import shared_trace_cache
+from repro.faults.injector import FaultInjector, NULL_INJECTOR
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.net.latency import SERVER_NODE_ID
 from repro.net.message import ChunkSource, LookupResult
-from repro.net.streaming import simulate_playback
+from repro.net.streaming import simulate_playback, simulate_resume
 from repro.net.server import CentralServer
 from repro.obs.tracer import NULL_TRACER
-from repro.overlay.maintenance import record_link_sample
+from repro.overlay.maintenance import record_link_sample, record_repair_sweep
 from repro.sim.churn import ChurnModel, SessionPlan
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStreams
 from repro.trace.dataset import TraceDataset
 from repro.workload.selection import VideoSelector
 from repro.workload.session import SessionTracker
+
+
+@dataclass
+class _ActiveWatch:
+    """One in-flight watch, tracked only on fault-injected runs.
+
+    ``offset`` is the number of chunks already local when the *current*
+    transfer began (1 after a prefetch hit, ``chunks_done`` after a
+    failover resume), so the interruption handler can convert elapsed
+    transfer time into delivered chunks.  ``transfer_start_t`` is
+    approximated by the request instant -- chunk-granularity slack the
+    failover model absorbs.
+    """
+
+    video_id: int
+    provider_id: Optional[int]  # None for server- or cache-sourced watches
+    grant: object  # TransferGrant, or None on a cache hit
+    rate_bps: float  # effective (possibly fault-degraded) transfer rate
+    request_t: float
+    startup_s: float
+    chunks: int
+    offset: int
+    transfer_start_t: float
+    span_id: object
+    finish_event: object
+
+
+@dataclass
+class _FailoverState:
+    """One consumer between losing its provider and resuming."""
+
+    watch: _ActiveWatch
+    interrupted_at: float
+    chunks_done: int
+    attempt: int = 0
 
 
 @dataclass
@@ -120,6 +156,20 @@ class ExperimentRunner:
         self._rng_protocol = streams.stream("protocol")
         self._rng_capacity = streams.stream("peer-capacity")
         self._rng_failures = streams.stream("failures")
+
+        # Fault injection (repro.faults).  The injector draws from its
+        # own "faults.*" substreams, so a zero plan leaves every other
+        # stream's sequence untouched; NULL_INJECTOR is falsy, so every
+        # fault hook below reduces to one truthiness check when off.
+        plan = spec.resolved_faults()
+        self.fault_plan = plan
+        self.faults = FaultInjector(plan, streams) if plan else NULL_INJECTOR
+        self._crash_events: Dict[int, object] = {}  # user -> pending crash
+        self._watches: Dict[int, _ActiveWatch] = {}
+        #: provider -> ordered set of consumers mid-transfer from it.
+        self._consumers: Dict[int, Dict[int, None]] = {}
+        self._failovers: Dict[int, _FailoverState] = {}
+        self._serve_ctx = None  # (provider_id, rate_bps) of the last serve
 
         self.dataset = dataset or shared_trace_cache.dataset_for(config.trace)
         if config.num_nodes > self.dataset.num_users:
@@ -246,6 +296,8 @@ class ExperimentRunner:
                     source="cache",
                     chunks=cfg.chunks_per_video,
                 )
+            if self.faults:
+                self._serve_ctx = (None, 0.0)
             return cfg.local_playback_delay_s, None, lookup, False, 0.0
 
         # Transient WAN failure: the chosen peer connection breaks and
@@ -269,6 +321,31 @@ class ExperimentRunner:
                 peers_contacted=lookup.peers_contacted,
             )
 
+        # Lost query messages (repro.faults): the reply from the chosen
+        # provider never arrives, so the requester re-floods after a
+        # backoff; past the retry budget the server serves the video.
+        retry_delay = 0.0
+        if self.faults and lookup.from_peer:
+            lost_retries = 0
+            while lookup.from_peer and self.faults.query_lost():
+                if self.tracer:
+                    self.tracer.event(
+                        "failover.query_lost", node=user_id, video=video_id
+                    )
+                if lost_retries >= self.faults.retry.max_retries:
+                    lookup = LookupResult(
+                        video_id=video_id,
+                        from_server=True,
+                        hops=lookup.hops,
+                        peers_contacted=lookup.peers_contacted,
+                    )
+                    break
+                retry_delay += self.faults.retry.backoff_delay(lost_retries)
+                lost_retries += 1
+                lookup = self.protocol.locate(user_id, video_id)
+            if lost_retries:
+                self.metrics.record_query_retry(user_id, lost_retries)
+
         prefetch_entry = peer.take_prefetch(video_id)
         if self.tracer:
             self.tracer.event(
@@ -283,6 +360,14 @@ class ExperimentRunner:
         if lookup.from_peer:
             provider = self.protocol.state(lookup.provider_id)
             grant = provider.uplink.admit(video_bits)
+            # A slow-peer episode degrades the granted share; with
+            # faults off the effective rate IS the granted rate, so the
+            # arithmetic below is bit-identical to the pre-fault path.
+            rate_bps = (
+                self.faults.peer_rate(grant.rate_bps)
+                if self.faults
+                else grant.rate_bps
+            )
             if lookup.query_path:
                 query_delay = self._path_delay(lookup.query_path)
             else:
@@ -292,9 +377,16 @@ class ExperimentRunner:
             chunk_source = ChunkSource.PEER
         else:
             grant = self.server.serve(video_bits)
+            rate_bps = (
+                self.faults.server_rate(grant.rate_bps, self.scheduler.now)
+                if self.faults
+                else grant.rate_bps
+            )
             query_delay = self._failed_flood_delay(user_id, lookup.hops)
             query_delay += self._server_rtt(user_id)
             chunk_source = ChunkSource.SERVER
+        if retry_delay:
+            query_delay += retry_delay
 
         prefetch_hit = prefetch_entry is not None
         if prefetch_hit:
@@ -308,7 +400,7 @@ class ExperimentRunner:
         else:
             startup = (
                 query_delay
-                + grant.time_for_bits(buffer_bits)
+                + buffer_bits / rate_bps
                 + cfg.local_playback_delay_s
             )
             self.metrics.record_chunks(user_id, chunk_source, cfg.chunks_per_video)
@@ -320,15 +412,15 @@ class ExperimentRunner:
                 video=video_id,
                 source=chunk_source.value,
                 chunks=cfg.chunks_per_video - (1 if prefetch_hit else 0),
-                rate_bps=grant.rate_bps,
+                rate_bps=rate_bps,
             )
 
-        # Chunk-level playback: stalls occur when the granted rate falls
-        # below the bitrate (e.g. a saturated server share).
+        # Chunk-level playback: stalls occur when the effective rate
+        # falls below the bitrate (e.g. a saturated server share).
         playback = simulate_playback(
             video_length_s=self.dataset.video_length(video_id),
             bitrate_bps=cfg.video_bitrate_bps,
-            transfer_rate_bps=grant.rate_bps,
+            transfer_rate_bps=rate_bps,
             chunks=cfg.chunks_per_video,
             startup_buffer_s=cfg.startup_buffer_s,
             prefetched_first_chunk=prefetch_hit,
@@ -339,6 +431,11 @@ class ExperimentRunner:
         self.metrics.record_playback(
             user_id, playback.continuity_index, playback.total_stall_s
         )
+        if self.faults:
+            self._serve_ctx = (
+                lookup.provider_id if lookup.from_peer else None,
+                rate_bps,
+            )
         return startup, grant, lookup, prefetch_hit, playback.total_stall_s
 
     def _do_prefetch(self, user_id: int, video_id: int) -> None:
@@ -377,6 +474,12 @@ class ExperimentRunner:
         self.sessions.begin_session(user_id)
         self.protocol.on_session_start(user_id)
         self.selector.start_session(user_id)
+        if self.faults:
+            delay = self.faults.crash_delay()
+            if delay is not None:
+                self._crash_events[user_id] = self.scheduler.schedule(
+                    delay, self._crash_node, user_id
+                )
         self._request_next_video(user_id)
 
     def _request_next_video(self, user_id: int) -> None:
@@ -409,13 +512,33 @@ class ExperimentRunner:
             span_id = self.tracer.begin_detached(
                 "request.stream", node=user_id, video=video_id, source=source
             )
-        self.scheduler.schedule(
+        finish_event = self.scheduler.schedule(
             watch_time, self._finish_video, user_id, video_id, grant, span_id
         )
+        if self.faults:
+            provider_id, rate_bps = self._serve_ctx
+            watch = _ActiveWatch(
+                video_id=video_id,
+                provider_id=provider_id,
+                grant=grant,
+                rate_bps=rate_bps,
+                request_t=self.scheduler.now,
+                startup_s=startup,
+                chunks=self.config.chunks_per_video,
+                offset=1 if prefetch_hit else 0,
+                transfer_start_t=self.scheduler.now,
+                span_id=span_id,
+                finish_event=finish_event,
+            )
+            self._watches[user_id] = watch
+            if provider_id is not None:
+                self._consumers.setdefault(provider_id, {})[user_id] = None
 
     def _finish_video(
         self, user_id: int, video_id: int, grant, span_id=None
     ) -> None:
+        if self.faults:
+            self._drop_watch(user_id)
         if grant is not None:
             grant.release()
         self.tracer.end(span_id)
@@ -431,6 +554,10 @@ class ExperimentRunner:
             self._request_next_video(user_id)
 
     def _end_session(self, user_id: int) -> None:
+        if self.faults:
+            crash_event = self._crash_events.pop(user_id, None)
+            if crash_event is not None:
+                crash_event.cancel()  # the session ended before the crash
         if self.tracer:
             self.tracer.event("churn.leave", node=user_id)
         self.protocol.on_session_end(user_id)
@@ -439,6 +566,222 @@ class ExperimentRunner:
             self.scheduler.schedule(
                 self.churn.off_duration(), self._start_session, user_id
             )
+
+    # -- fault handling (repro.faults) ------------------------------------------------------
+
+    def _drop_watch(self, user_id: int) -> None:
+        """Forget a tracked watch (finished, interrupted, or crashed)."""
+        watch = self._watches.pop(user_id, None)
+        if watch is None or watch.provider_id is None:
+            return
+        consumers = self._consumers.get(watch.provider_id)
+        if consumers is not None:
+            consumers.pop(user_id, None)
+            if not consumers:
+                del self._consumers[watch.provider_id]
+
+    def _crash_node(self, user_id: int) -> None:
+        """Kill a node abruptly mid-session (crash-churn).
+
+        Unlike a graceful leave: the node's own watch dies on the spot,
+        every consumer streaming *from* it is interrupted into failover,
+        the protocol leaves the dead node's overlay links dangling, and
+        a repair sweep is scheduled one repair window out.  The crashed
+        session still counts against the session plan, so the run
+        terminates; the node returns after a normal off period.
+        """
+        self._crash_events.pop(user_id, None)
+        self.metrics.record_crash(user_id)
+        if self.tracer:
+            self.tracer.event("churn.crash", node=user_id)
+        watch = self._watches.get(user_id)
+        if watch is not None:
+            watch.finish_event.cancel()
+            if watch.grant is not None:
+                watch.grant.release()
+            self.tracer.end(watch.span_id)
+            self._drop_watch(user_id)
+        else:
+            state = self._failovers.pop(user_id, None)
+            if state is not None:
+                self.tracer.end(state.watch.span_id)
+        consumers = self._consumers.pop(user_id, None)
+        if consumers:
+            for consumer in list(consumers):
+                self._interrupt_transfer(consumer, provider_id=user_id)
+        self.protocol.on_crash(user_id)
+        self.scheduler.schedule(
+            self.fault_plan.repair_window_s, self._repair_after_crash, user_id
+        )
+        self.sessions.end_session(user_id)
+        if not self.sessions.all_sessions_done(user_id):
+            self.scheduler.schedule(
+                self.churn.off_duration(), self._start_session, user_id
+            )
+
+    def _repair_after_crash(self, user_id: int) -> None:
+        """The repair window elapsed; survivors heal their link tables."""
+        repaired = self.protocol.repair_after_crash(user_id)
+        record_repair_sweep(self.tracer, user_id, repaired)
+
+    def _interrupt_transfer(self, user_id: int, provider_id: int) -> None:
+        """``user_id``'s provider died mid-transfer; start failover.
+
+        Chunks delivered before the crash stay local (resume-from-last-
+        chunk); if the whole video already arrived, playback proceeds
+        untouched and only the bookkeeping is dropped.
+        """
+        watch = self._watches.get(user_id)
+        if watch is None or watch.provider_id != provider_id:
+            return
+        now = self.scheduler.now
+        chunk_bits = (
+            self.config.video_bits(self.dataset.video_length(watch.video_id))
+            / watch.chunks
+        )
+        delivered = int((now - watch.transfer_start_t) * watch.rate_bps / chunk_bits)
+        chunks_done = min(watch.chunks, watch.offset + delivered)
+        if chunks_done >= watch.chunks:
+            # The whole video already arrived: playback proceeds, so the
+            # watch stays tracked (its finish event must die if this
+            # consumer later crashes) -- only the provider link drops.
+            self._drop_watch(user_id)
+            watch.provider_id = None
+            self._watches[user_id] = watch
+            return
+        watch.finish_event.cancel()
+        if watch.grant is not None:
+            watch.grant.release()
+        self._drop_watch(user_id)
+        self.metrics.record_interruption(user_id)
+        if self.tracer:
+            self.tracer.event(
+                "failover.interrupted",
+                node=user_id,
+                video=watch.video_id,
+                provider=provider_id,
+                chunk=chunks_done,
+            )
+        state = _FailoverState(
+            watch=watch, interrupted_at=now, chunks_done=chunks_done
+        )
+        self._failovers[user_id] = state
+        self.scheduler.schedule(
+            self.faults.retry.detection_timeout_s,
+            self._attempt_failover,
+            user_id,
+            state,
+        )
+
+    def _remaining_bits(self, state: _FailoverState) -> float:
+        watch = state.watch
+        video_bits = self.config.video_bits(self.dataset.video_length(watch.video_id))
+        return video_bits * (watch.chunks - state.chunks_done) / watch.chunks
+
+    def _attempt_failover(self, user_id: int, state: _FailoverState) -> None:
+        """Re-search for a replacement provider (retry/timeout/backoff).
+
+        Each attempt re-floods the overlay; a found provider resumes the
+        transfer from the last delivered chunk, a miss (or a lost reply)
+        backs off exponentially, and past the retry budget the server
+        finishes the transfer -- a degraded serve, not a lost session.
+        """
+        if self._failovers.get(user_id) is not state:
+            return  # resolved already, or the consumer itself crashed
+        watch = state.watch
+        lookup = self.protocol.relocate(user_id, watch.video_id)
+        if lookup.from_peer and not self.faults.query_lost():
+            provider = self.protocol.state(lookup.provider_id)
+            grant = provider.uplink.admit(self._remaining_bits(state))
+            rate_bps = self.faults.peer_rate(grant.rate_bps)
+            self._resume_watch(
+                user_id, state, grant, rate_bps, lookup.provider_id, to_peer=True
+            )
+            return
+        if state.attempt < self.faults.retry.max_retries:
+            delay = self.faults.retry.backoff_delay(state.attempt)
+            state.attempt += 1
+            if self.tracer:
+                self.tracer.event(
+                    "failover.retry",
+                    node=user_id,
+                    video=watch.video_id,
+                    attempt=state.attempt,
+                )
+            self.scheduler.schedule(delay, self._attempt_failover, user_id, state)
+            return
+        grant = self.server.serve(self._remaining_bits(state))
+        rate_bps = self.faults.server_rate(grant.rate_bps, self.scheduler.now)
+        self._resume_watch(user_id, state, grant, rate_bps, None, to_peer=False)
+
+    def _resume_watch(
+        self,
+        user_id: int,
+        state: _FailoverState,
+        grant,
+        rate_bps: float,
+        provider_id: Optional[int],
+        to_peer: bool,
+    ) -> None:
+        """Restart the interrupted transfer from its new source.
+
+        The segmented playback model replays the viewer from the chunk
+        under the playhead at the interruption (pre-crash stalls are
+        chunk-granularity slack) and yields the wall-clock completion,
+        which reschedules the watch's finish event.
+        """
+        del self._failovers[user_id]
+        watch = state.watch
+        now = self.scheduler.now
+        latency = now - state.interrupted_at
+        video_length = self.dataset.video_length(watch.video_id)
+        playback_start = watch.request_t + watch.startup_s
+        position = min(
+            max(state.interrupted_at - playback_start, 0.0), video_length
+        )
+        resume = simulate_resume(
+            video_length_s=video_length,
+            bitrate_bps=self.config.video_bitrate_bps,
+            transfer_rate_bps=rate_bps,
+            chunks=watch.chunks,
+            chunks_done=state.chunks_done,
+            playback_position_s=position,
+            resume_gap_s=latency,
+            tracer=self.tracer,
+            node=user_id,
+            video=watch.video_id,
+        )
+        self.metrics.record_failover(
+            user_id, latency_s=latency, retries=state.attempt, to_peer=to_peer
+        )
+        if self.tracer:
+            self.tracer.event(
+                "failover.resume" if to_peer else "failover.server",
+                node=user_id,
+                video=watch.video_id,
+                provider=provider_id,
+                latency_s=latency,
+                retries=state.attempt,
+                chunk=state.chunks_done,
+            )
+        watch.provider_id = provider_id
+        watch.grant = grant
+        watch.rate_bps = rate_bps
+        watch.transfer_start_t = now
+        watch.offset = state.chunks_done
+        # completion_s counts from the interruption; `latency` of it has
+        # already elapsed, and the remainder is strictly positive.
+        watch.finish_event = self.scheduler.schedule(
+            resume.completion_s - latency,
+            self._finish_video,
+            user_id,
+            watch.video_id,
+            grant,
+            watch.span_id,
+        )
+        self._watches[user_id] = watch
+        if to_peer:
+            self._consumers.setdefault(provider_id, {})[user_id] = None
 
     # -- run --------------------------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.registry import get_protocol, resolve_params
+from repro.faults.plan import FaultPlan
 
 #: Bumped when the canonical serialization changes shape, so stale
 #: on-disk caches keyed by content_hash can never alias a new layout.
@@ -89,6 +90,11 @@ class ExperimentSpec:
     config: SimulationConfig
     environment: str = "peersim"
     params: Optional[Any] = None
+    #: Optional fault model (see repro.faults).  ``None`` and an
+    #: all-zero plan are hash-equivalent: both are omitted from the
+    #: canonical payload, so fault-free specs keep their pre-fault
+    #: content hashes (and the committed baselines keyed by them).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         entry = get_protocol(self.protocol)  # raises ValueError when unknown
@@ -102,6 +108,8 @@ class ExperimentSpec:
             )
         if not isinstance(self.config, SimulationConfig):
             raise TypeError("config must be a SimulationConfig")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError("faults must be a FaultPlan or None")
 
     # -- derived views -------------------------------------------------------
 
@@ -116,15 +124,31 @@ class ExperimentSpec:
             return self.params
         return resolve_params(self.protocol, self.config)
 
+    def has_faults(self) -> bool:
+        """True when a nonzero :class:`FaultPlan` governs this run."""
+        return self.faults is not None and not self.faults.is_zero()
+
+    def resolved_faults(self) -> Optional[FaultPlan]:
+        """The effective fault plan: ``None`` unless nonzero faults apply."""
+        return self.faults if self.has_faults() else None
+
     def canonical_payload(self) -> Dict[str, Any]:
-        """The fully resolved, JSON-ready description of this run."""
-        return {
+        """The fully resolved, JSON-ready description of this run.
+
+        A nonzero fault plan contributes a ``"faults"`` key; ``None``
+        and all-zero plans contribute nothing, so their specs hash
+        identically to specs predating fault injection.
+        """
+        payload = {
             "version": _SPEC_SCHEMA_VERSION,
             "protocol": self.protocol,
             "environment": self.environment,
             "config": dataclasses.asdict(self.config),
             "params": dataclasses.asdict(self.resolved_params()),
         }
+        if self.has_faults():
+            payload["faults"] = self.faults.to_dict()
+        return payload
 
     def content_hash(self) -> str:
         """SHA-256 hex digest identifying this run's full behaviour."""
@@ -154,6 +178,17 @@ class ExperimentSpec:
         """
         params = dataclasses.replace(self.resolved_params(), **overrides)
         return replace(self, params=params)
+
+    def with_faults(self, faults: Optional[FaultPlan]) -> "ExperimentSpec":
+        """Copy with a fault plan attached (or removed with ``None``).
+
+        Example::
+
+            chaos = spec.with_faults(FaultPlan.demo())
+            assert chaos.content_hash() != spec.content_hash()
+            assert spec.with_faults(FaultPlan()).content_hash() == spec.content_hash()
+        """
+        return replace(self, faults=faults)
 
     def label(self) -> str:
         """Compact human-readable identity for logs and progress rows."""

@@ -1,0 +1,22 @@
+"""Deterministic fault injection (crash-churn, loss, degradation).
+
+Public surface:
+
+* :class:`repro.faults.plan.FaultPlan` / ``RetryPolicy`` -- the frozen
+  fault model carried by :class:`repro.experiments.spec.ExperimentSpec`;
+* :class:`repro.faults.injector.FaultInjector` / ``NULL_INJECTOR`` --
+  the seeded draw source the experiment runner consults.
+
+See DESIGN.md section 9 for the fault model and the recovery protocol.
+"""
+
+from repro.faults.injector import NULL_INJECTOR, FaultInjector, NullFaultInjector
+from repro.faults.plan import FaultPlan, RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "RetryPolicy",
+    "FaultInjector",
+    "NullFaultInjector",
+    "NULL_INJECTOR",
+]

@@ -1,0 +1,93 @@
+"""Seeded fault draws, isolated from every other RNG stream.
+
+The injector is the only component that consumes randomness for fault
+decisions, and it draws exclusively from its own named ``RngStreams``
+substreams (``faults.crash`` / ``faults.query-loss`` /
+``faults.slow-peer``).  Stream derivation is name-based, so creating
+these streams never perturbs the workload/churn/latency/protocol
+sequences -- which is what keeps a zero-plan run byte-identical to a
+build without fault injection, and a fault-injected run byte-identical
+between ``--jobs 1`` and ``--jobs N``.
+
+Mirrors the ``NULL_TRACER`` idiom: :data:`NULL_INJECTOR` is *falsy*, so
+every hook in the runner's hot path costs one truthiness check when
+faults are off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import RngStreams
+
+
+class NullFaultInjector:
+    """Falsy stand-in wired when the spec carries no (or a zero) plan."""
+
+    plan: Optional[FaultPlan] = None
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Shared no-op injector (the fault-free fast path).
+NULL_INJECTOR = NullFaultInjector()
+
+
+class FaultInjector:
+    """Draws every fault decision for one run from dedicated streams.
+
+    Draw order is fixed by the (deterministic) event order of the
+    simulation: one crash draw per session start, one loss draw per
+    peer lookup, one slow-peer draw per peer admission.  Brownouts are
+    a pure function of the virtual clock and consume no randomness.
+    """
+
+    def __init__(self, plan: FaultPlan, streams: RngStreams):
+        if plan.is_zero():
+            raise ValueError("FaultInjector requires a nonzero FaultPlan")
+        self.plan = plan
+        self.retry = plan.retry
+        self._rng_crash = streams.stream("faults.crash")
+        self._rng_query = streams.stream("faults.query-loss")
+        self._rng_slow = streams.stream("faults.slow-peer")
+
+    def __bool__(self) -> bool:
+        return True
+
+    def crash_delay(self) -> Optional[float]:
+        """Seconds until this session's crash, or None when crash-free.
+
+        Drawn once per session start; the runner cancels the scheduled
+        crash if the session ends gracefully first.
+        """
+        rate = self.plan.crash_rate_per_hour
+        if rate <= 0:
+            return None
+        return self._rng_crash.expovariate(rate / 3600.0)
+
+    def query_lost(self) -> bool:
+        """One loss draw for a peer lookup (True = the reply never came)."""
+        prob = self.plan.query_loss_prob
+        return prob > 0 and self._rng_query.random() < prob
+
+    def peer_rate(self, rate_bps: float) -> float:
+        """Granted peer rate after a possible slow-peer episode."""
+        prob = self.plan.slow_peer_prob
+        if prob > 0 and self._rng_slow.random() < prob:
+            return rate_bps * self.plan.slow_peer_factor
+        return rate_bps
+
+    def in_brownout(self, now: float) -> bool:
+        """Whether virtual time ``now`` falls inside a brownout window."""
+        period = self.plan.brownout_period_s
+        if period <= 0 or self.plan.brownout_duty <= 0:
+            return False
+        return now % period < self.plan.brownout_duty * period
+
+    def server_rate(self, rate_bps: float, now: float) -> float:
+        """Granted server rate after a possible brownout (clock-driven)."""
+        if self.in_brownout(now):
+            return rate_bps * self.plan.brownout_factor
+        return rate_bps

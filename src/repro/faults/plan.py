@@ -1,0 +1,170 @@
+"""The declarative fault model: what goes wrong, how often, how hard.
+
+The paper's PlanetLab deployment (Section VI) exists to show SocialTube
+survives a hostile network -- peers vanish mid-transfer, queries are
+lost, uplinks degrade, the server browns out under load.  The PeerSim
+evaluation only exercises *graceful* churn, so this module describes the
+adversity explicitly: a :class:`FaultPlan` is a frozen, all-zero-by-
+default bundle of fault rates that rides on
+:class:`repro.experiments.spec.ExperimentSpec` and is content-hash
+aware -- an all-zero plan serializes to *nothing*, so fault-free specs
+keep their pre-fault hashes and baselines.
+
+Determinism contract: the plan holds only *parameters*.  Every random
+draw happens in :class:`repro.faults.injector.FaultInjector` from
+dedicated ``RngStreams`` substreams, so enabling faults never perturbs
+the workload/churn/latency streams and ``--jobs N`` stays byte-identical
+to serial execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failover retry/timeout/backoff knobs (DESIGN.md section 9).
+
+    After a provider crash is detected (``detection_timeout_s`` after
+    the crash), the consumer re-searches the overlay; each miss waits
+    ``backoff_base_s * backoff_factor**attempt`` (capped at
+    ``backoff_max_s``) before the next attempt, and after
+    ``max_retries`` misses the server finishes the transfer (a
+    *degraded* serve, not a lost session).
+    """
+
+    max_retries: int = 2
+    detection_timeout_s: float = 2.0
+    backoff_base_s: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.detection_timeout_s < 0:
+            raise ValueError("detection_timeout_s must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based), capped.
+
+        Example::
+
+            >>> RetryPolicy(backoff_base_s=1.0, backoff_factor=2.0).backoff_delay(2)
+            4.0
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        return min(self.backoff_max_s, self.backoff_base_s * self.backoff_factor**attempt)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic, seeded description of every injected fault class.
+
+    * **crash-churn** -- while a node is in session, it crashes after an
+      exponential delay with rate ``crash_rate_per_hour`` (0 disables).
+      A crash kills the node mid-session/mid-transfer: no graceful
+      leave, overlay links dangle until crash-repair.
+    * **query loss** -- each peer lookup is lost with
+      ``query_loss_prob``; the requester retries under ``retry`` and
+      falls back to the server past the budget.
+    * **slow peer** -- a peer transfer is degraded to
+      ``slow_peer_factor`` of its granted rate with ``slow_peer_prob``
+      (a congested uplink episode).
+    * **server brownout** -- during the first ``brownout_duty`` fraction
+      of every ``brownout_period_s`` window of virtual time, server
+      serves run at ``brownout_factor`` of the granted rate.  Purely
+      clock-driven: no RNG draw.
+    * **crash-repair** -- surviving neighbors detect and re-link
+      ``repair_window_s`` after a crash (the overlay self-healing
+      window).
+
+    The all-default plan is *zero*: :meth:`is_zero` is True and the plan
+    is omitted from the spec's canonical payload, keeping fault-free
+    content hashes, traces, and baselines byte-identical to a build
+    without this module.
+    """
+
+    crash_rate_per_hour: float = 0.0
+    query_loss_prob: float = 0.0
+    slow_peer_prob: float = 0.0
+    slow_peer_factor: float = 0.25
+    brownout_period_s: float = 0.0
+    brownout_duty: float = 0.0
+    brownout_factor: float = 0.5
+    repair_window_s: float = 60.0
+    retry: RetryPolicy = RetryPolicy()
+
+    def __post_init__(self) -> None:
+        if self.crash_rate_per_hour < 0:
+            raise ValueError("crash_rate_per_hour must be >= 0")
+        for name in ("query_loss_prob", "slow_peer_prob", "brownout_duty"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        for name in ("slow_peer_factor", "brownout_factor"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if self.brownout_period_s < 0:
+            raise ValueError("brownout_period_s must be >= 0")
+        if self.repair_window_s <= 0:
+            raise ValueError("repair_window_s must be positive")
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError("retry must be a RetryPolicy")
+
+    def is_zero(self) -> bool:
+        """True when no fault class can ever fire under this plan."""
+        return (
+            self.crash_rate_per_hour == 0.0
+            and self.query_loss_prob == 0.0
+            and self.slow_peer_prob == 0.0
+            and not (self.brownout_period_s > 0 and self.brownout_duty > 0)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready nested dict (the spec's canonical-payload form)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> Optional["FaultPlan"]:
+        """Rebuild a plan from :meth:`to_dict` output; None passes through.
+
+        Used by the baseline gate to reconstruct fault-injected specs
+        from committed baseline files.
+        """
+        if payload is None:
+            return None
+        fields = dict(payload)
+        retry = fields.pop("retry", None)
+        if retry is not None:
+            fields["retry"] = RetryPolicy(**retry)
+        return cls(**fields)
+
+    @classmethod
+    def demo(cls) -> "FaultPlan":
+        """The canonical nonzero plan: CLI default, chaos baselines, CI.
+
+        Aggressive enough that every fault path fires at smoke scale
+        (crashes mid-transfer, lost queries, slow peers, brownouts)
+        while leaving most sessions able to complete normally.
+        """
+        return cls(
+            crash_rate_per_hour=4.0,
+            query_loss_prob=0.05,
+            slow_peer_prob=0.10,
+            slow_peer_factor=0.30,
+            brownout_period_s=1200.0,
+            brownout_duty=0.25,
+            brownout_factor=0.5,
+            repair_window_s=60.0,
+            retry=RetryPolicy(),
+        )

@@ -106,7 +106,14 @@ def check_overlay(structure: "HierarchicalStructure") -> List[InvariantViolation
     * links symmetric and self-link free at both levels,
     * no links held by or pointing at a departed node
       (``channel_of`` is ``None`` after :meth:`leave`).
+
+    Nodes in ``structure.pending_repairs`` are *crashed* rather than
+    departed: their dangling links are the expected in-flight state
+    between the crash and the scheduled repair sweep (repro.faults), so
+    the departed-node checks tolerate them.  Capacity and symmetry are
+    still enforced -- a crash severs no links, so both hold throughout.
     """
+    in_flight = getattr(structure, "pending_repairs", None) or frozenset()
     violations: List[InvariantViolation] = []
     violations.extend(
         check_link_table(structure.inner, "inner", structure.inner_link_limit)
@@ -119,7 +126,7 @@ def check_overlay(structure: "HierarchicalStructure") -> List[InvariantViolation
             neighbors = table.neighbors(node_id)
             if not neighbors:
                 continue
-            if structure.channel_of.get(node_id) is None:
+            if structure.channel_of.get(node_id) is None and node_id not in in_flight:
                 violations.append(
                     InvariantViolation(
                         kind="departed-node-with-links",
@@ -132,6 +139,7 @@ def check_overlay(structure: "HierarchicalStructure") -> List[InvariantViolation
                 if (
                     neighbor in structure.channel_of
                     and structure.channel_of[neighbor] is None
+                    and neighbor not in in_flight
                 ):
                     violations.append(
                         InvariantViolation(

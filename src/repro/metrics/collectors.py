@@ -52,6 +52,14 @@ class ExperimentMetrics:
     prefetch_hit_fraction: float
     mean_search_hops: float
     mean_peers_contacted: float
+    # Fault recovery (repro.faults; all zero on fault-free runs).
+    crashes: int = 0
+    interrupted_transfers: int = 0
+    failover_peer_resumes: int = 0
+    failover_server_fallbacks: int = 0
+    failover_latency_ms_mean: float = 0.0
+    retries_per_serve: float = 0.0
+    degraded_serve_fraction: float = 0.0
 
     def overhead_series(self) -> List[Tuple[int, float]]:
         """Fig 18 series: (videos watched, mean links maintained).
@@ -112,6 +120,17 @@ class ExperimentMetrics:
             f"{idx}:{links:.1f}" for idx, links in self.overhead_series()
         )
         rows.append(f"  maintenance overhead by video index: {overhead}")
+        if self.crashes or self.interrupted_transfers:
+            rows.append(
+                "  faults: "
+                f"crashes={self.crashes} "
+                f"interrupted={self.interrupted_transfers} "
+                f"peer_resumes={self.failover_peer_resumes} "
+                f"server_failovers={self.failover_server_fallbacks} "
+                f"failover_ms={self.failover_latency_ms_mean:.1f} "
+                f"retries/serve={self.retries_per_serve:.4f} "
+                f"degraded={self.degraded_serve_fraction:.3f}"
+            )
         return rows
 
 
@@ -138,6 +157,13 @@ class MetricsCollector:
         self._continuity: List[float] = []
         self._stall_ms: List[float] = []
         self.stalled_watches = 0
+        # Fault recovery (repro.faults): crash-churn + failover ledger.
+        self.crashes = 0
+        self.interrupted_transfers = 0
+        self.failover_peer_resumes = 0
+        self.failover_server_fallbacks = 0
+        self.failover_retries = 0
+        self._failover_latencies_ms: List[float] = []
 
     # -- recording -----------------------------------------------------------
 
@@ -191,6 +217,40 @@ class MetricsCollector:
         """Per-requester failure counts; sum equals
         :attr:`peer_transfer_failures`."""
         return dict(self._peer_failures_by_user)
+
+    def record_crash(self, user_id: int) -> None:
+        """Count one crash-churn event (the node died mid-session)."""
+        self.crashes += 1
+
+    def record_interruption(self, user_id: int) -> None:
+        """Count one mid-transfer interruption (provider crashed)."""
+        self.interrupted_transfers += 1
+
+    def record_query_retry(self, user_id: int, retries: int) -> None:
+        """Count lost-query retries spent on one serve."""
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.failover_retries += retries
+
+    def record_failover(
+        self, user_id: int, latency_s: float, retries: int, to_peer: bool
+    ) -> None:
+        """Record one resolved failover: latency, retries, destination.
+
+        ``to_peer`` distinguishes a resume from a fresh provider (the
+        paper's self-healing path) from the server fallback taken after
+        the retry budget -- a *degraded* serve, not a lost session.
+        """
+        if latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if to_peer:
+            self.failover_peer_resumes += 1
+        else:
+            self.failover_server_fallbacks += 1
+        self.failover_retries += retries
+        self._failover_latencies_ms.append(latency_s * 1000.0)
 
     def record_playback(
         self, user_id: int, continuity_index: float, total_stall_s: float
@@ -256,4 +316,17 @@ class MetricsCollector:
             ),
             mean_search_hops=mean([float(h) for h in self._hops]),
             mean_peers_contacted=mean([float(c) for c in self._contacted]),
+            crashes=self.crashes,
+            interrupted_transfers=self.interrupted_transfers,
+            failover_peer_resumes=self.failover_peer_resumes,
+            failover_server_fallbacks=self.failover_server_fallbacks,
+            failover_latency_ms_mean=(
+                mean(self._failover_latencies_ms)
+                if self._failover_latencies_ms
+                else 0.0
+            ),
+            retries_per_serve=self.failover_retries / self.requests,
+            degraded_serve_fraction=(
+                self.failover_server_fallbacks / self.requests
+            ),
         )

@@ -113,7 +113,6 @@ def simulate_playback(
     # Startup: wait until `startup_buffer_s` of media has arrived
     # (clamped to the video length), or start right away on a prefetch.
     if prefetched_first_chunk:
-        buffered_target = min(startup_buffer_s, chunk_seconds * 1.0)
         startup = 0.0  # the prefetched chunk covers the startup buffer
     else:
         buffered_target = min(startup_buffer_s, video_length_s)
@@ -153,6 +152,108 @@ def simulate_playback(
         stall_count=len(stalls),
         total_stall_s=sum(stalls),
         playback_duration_s=video_length_s,
+        stalls=stalls,
+    )
+
+
+@dataclass
+class ResumeReport:
+    """Outcome of resuming one interrupted transfer from a new provider.
+
+    ``completion_s`` is measured from the *interruption instant*: the
+    wall-clock span covering the failover gap, any extra stalls, and the
+    remaining playback.  The experiment runner schedules the watch's new
+    finish event ``completion_s - resume_gap_s`` after the resume fires.
+    """
+
+    stall_count: int
+    total_stall_s: float
+    completion_s: float
+    #: Per-stall durations in playback order (empty when smooth).
+    stalls: List[float] = field(default_factory=list)
+
+
+def simulate_resume(
+    video_length_s: float,
+    bitrate_bps: float,
+    transfer_rate_bps: float,
+    chunks: int,
+    chunks_done: int,
+    playback_position_s: float,
+    resume_gap_s: float,
+    tracer=None,
+    node=None,
+    video=None,
+) -> ResumeReport:
+    """Segmented playback after a mid-transfer provider failover.
+
+    The original provider delivered chunks ``[0, chunks_done)`` before
+    crashing; the new provider streams the rest at
+    ``transfer_rate_bps`` starting ``resume_gap_s`` after the
+    interruption (detection timeout + retries).  The playhead restarts
+    at ``playback_position_s`` (where the viewer was when the outage
+    hit, at chunk granularity) and walks the remaining chunks with the
+    same late-arrival stall rule as :func:`simulate_playback` -- the
+    failover gap itself counts as a stall whenever playback needs a
+    chunk the outage delayed.
+
+    Returns the extra stalls attributable to the failover plus the
+    wall-clock time from interruption to the last chunk both *arrived
+    and played* -- closed form, like the happy path, so recovery costs
+    no extra simulation events.
+    """
+    if video_length_s <= 0 or bitrate_bps <= 0:
+        raise StreamingError("video length and bitrate must be positive")
+    if transfer_rate_bps <= 0:
+        raise StreamingError("transfer rate must be positive")
+    if chunks < 1:
+        raise StreamingError("need at least one chunk")
+    if not 0 <= chunks_done < chunks:
+        raise StreamingError("chunks_done must be in [0, chunks)")
+    if resume_gap_s < 0:
+        raise StreamingError("resume gap must be non-negative")
+
+    chunk_seconds = video_length_s / chunks
+    chunk_bits = bitrate_bps * chunk_seconds
+    position = min(max(playback_position_s, 0.0), video_length_s)
+    start_chunk = min(int(position // chunk_seconds), chunks - 1)
+
+    stalls: List[float] = []
+    playhead = 0.0  # wall clock since the interruption
+    for index in range(start_chunk, chunks):
+        if index < chunks_done:
+            ready_at = 0.0  # already local when the provider died
+        else:
+            ready_at = (
+                resume_gap_s
+                + (index - chunks_done + 1) * chunk_bits / transfer_rate_bps
+            )
+        if ready_at > playhead:
+            stalls.append(ready_at - playhead)
+            if tracer:
+                tracer.event(
+                    "playback.stall",
+                    node=node,
+                    video=video,
+                    chunk=index,
+                    stall_s=ready_at - playhead,
+                )
+            playhead = ready_at
+        playhead += chunk_seconds
+
+    if tracer:
+        tracer.event(
+            "failover.playback",
+            node=node,
+            video=video,
+            stalls=len(stalls),
+            stall_s=sum(stalls),
+            chunk=start_chunk,
+        )
+    return ResumeReport(
+        stall_count=len(stalls),
+        total_stall_s=sum(stalls),
+        completion_s=playhead,
         stalls=stalls,
     )
 

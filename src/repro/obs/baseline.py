@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.experiments.config import SimulationConfig
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.trace_cache import shared_trace_cache
+from repro.faults.plan import FaultPlan
 from repro.obs.timeseries import DEFAULT_WINDOW_S, run_with_timeseries
 
 #: Bumped when the baseline file layout changes.
@@ -71,7 +72,28 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[float, float]] = {
     "tracker_lookups": (0.0, 0.02),
     "events_processed": (0.0, 0.02),
     "prefetch_hit_rate": (0.02, 0.0),
+    # Fault-recovery metrics (present only in chaos baselines).  Counts
+    # are fully deterministic replays; latency gets the usual time band.
+    "crashes": (0.0, 0.0),
+    "interrupted_transfers": (0.0, 0.0),
+    "failover_peer_resumes": (0.0, 0.0),
+    "failover_server_fallbacks": (0.0, 0.0),
+    "failover_latency_ms_mean": (1.0, 0.05),
+    "retries_per_serve": (0.01, 0.0),
+    "degraded_serve_fraction": (0.02, 0.0),
 }
+
+#: Recovery metrics captured only under a nonzero fault plan; all are
+#: attributes of :class:`repro.metrics.collectors.ExperimentMetrics`.
+CHAOS_METRICS: Tuple[str, ...] = (
+    "crashes",
+    "interrupted_transfers",
+    "failover_peer_resumes",
+    "failover_server_fallbacks",
+    "failover_latency_ms_mean",
+    "retries_per_serve",
+    "degraded_serve_fraction",
+)
 
 #: Band applied to a metric missing from :data:`DEFAULT_TOLERANCES`.
 FALLBACK_TOLERANCE: Tuple[float, float] = (0.0, 0.05)
@@ -120,11 +142,15 @@ def spec_for_baseline(payload: Dict[str, Any]) -> ExperimentSpec:
     factory = _SCALES.get(scale)
     if factory is None:
         raise ValueError(f"unknown baseline scale {scale!r}")
-    return ExperimentSpec(
+    spec = ExperimentSpec(
         protocol=payload["protocol"],
         config=factory(seed=payload["seed"]),
         environment=payload.get("environment", "peersim"),
     )
+    faults = payload.get("faults")
+    if faults:
+        spec = spec.with_faults(FaultPlan.from_dict(faults))
+    return spec
 
 
 def _capture(spec: ExperimentSpec, scale: str, window_s: float) -> Dict[str, Any]:
@@ -156,7 +182,13 @@ def _capture(spec: ExperimentSpec, scale: str, window_s: float) -> Dict[str, Any
         "events_processed": float(run.result.events_processed),
         "prefetch_hit_rate": run.result.prefetch_hit_rate,
     }
-    return {
+    if spec.has_faults():
+        # Only chaos baselines carry the recovery metrics: fault-free
+        # capture payloads stay byte-identical to pre-fault ones.
+        values.update(
+            {name: float(getattr(metrics, name)) for name in CHAOS_METRICS}
+        )
+    payload = {
         "schema": BASELINE_SCHEMA_VERSION,
         "protocol": spec.protocol,
         "environment": spec.environment,
@@ -168,6 +200,9 @@ def _capture(spec: ExperimentSpec, scale: str, window_s: float) -> Dict[str, Any
         "num_windows": run.table.num_windows,
         "metrics": values,
     }
+    if spec.has_faults():
+        payload["faults"] = spec.faults.to_dict()
+    return payload
 
 
 def capture_baseline(
@@ -176,8 +211,13 @@ def capture_baseline(
     seed: int = 2014,
     environment: str = "peersim",
     window_s: float = DEFAULT_WINDOW_S,
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[str, Any]:
     """Snapshot one protocol's baseline payload from a fresh run.
+
+    A nonzero ``faults`` plan produces a *chaos* baseline: the payload
+    carries the plan plus the recovery metrics, and lands in a separate
+    ``baseline_<protocol>_<environment>_chaos.json`` file.
 
     Example::
 
@@ -190,23 +230,28 @@ def capture_baseline(
     spec = ExperimentSpec(
         protocol=protocol, config=factory(seed=seed), environment=environment
     )
+    if faults is not None:
+        spec = spec.with_faults(faults)
     return _capture(spec, scale, window_s)
 
 
 def _capture_worker(task: Dict[str, Any]) -> Dict[str, Any]:
     """Pool worker: one baseline identity -> one fresh capture payload."""
+    faults = task.get("faults")
     return capture_baseline(
         protocol=task["protocol"],
         scale=task.get("scale", "smoke"),
         seed=task["seed"],
         environment=task.get("environment", "peersim"),
         window_s=task.get("window_s", DEFAULT_WINDOW_S),
+        faults=FaultPlan.from_dict(faults) if faults else None,
     )
 
 
 def baseline_path(baseline_dir: str, payload: Dict[str, Any]) -> str:
     """Canonical file path for one baseline payload."""
-    name = f"baseline_{payload['protocol']}_{payload['environment']}.json"
+    suffix = "_chaos" if payload.get("faults") else ""
+    name = f"baseline_{payload['protocol']}_{payload['environment']}{suffix}.json"
     return os.path.join(baseline_dir, name)
 
 
@@ -306,6 +351,7 @@ def run_regression(
             "seed": payload["seed"],
             "scale": payload.get("scale", "smoke"),
             "window_s": payload.get("window_s", DEFAULT_WINDOW_S),
+            "faults": payload.get("faults"),
         }
         for _path, payload in entries
     ]

@@ -40,12 +40,17 @@ from repro.obs.tracer import TRACE_SCHEMA_VERSION, Tracer
 def trace_header(spec: ExperimentSpec) -> Dict[str, Any]:
     """The identifying first row of a trace artifact.
 
+    Fault-injected runs (a nonzero ``spec.faults``) carry a ``faults``
+    marker, which tells the time-series replay path to enable the
+    fault-recovery columns; fault-free headers are byte-identical to
+    headers predating fault injection.
+
     Example::
 
         header = trace_header(spec)
         assert header["content_hash"] == spec.content_hash()
     """
-    return {
+    header = {
         "kind": "header",
         "schema": TRACE_SCHEMA_VERSION,
         "content_hash": spec.content_hash(),
@@ -53,6 +58,9 @@ def trace_header(spec: ExperimentSpec) -> Dict[str, Any]:
         "environment": spec.environment,
         "seed": spec.seed,
     }
+    if spec.has_faults():
+        header["faults"] = True
+    return header
 
 
 def _canonical_row(row: Dict[str, Any]) -> str:

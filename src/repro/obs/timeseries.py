@@ -160,6 +160,20 @@ _ROW_CODES: Dict[str, int] = {
     "engine.tick": 12,
 }
 
+#: Extra dispatch codes merged in only when the collector is built with
+#: ``include_faults`` (the run carried a nonzero FaultPlan).  Kept out
+#: of :data:`_ROW_CODES` so fault-free tables -- and the committed
+#: baseline digests keyed on their bytes -- are untouched by the fault
+#: subsystem's existence.
+_FAULT_ROW_CODES: Dict[str, int] = {
+    "churn.crash": 13,
+    "failover.interrupted": 14,
+    "failover.retry": 15,
+    "failover.resume": 16,
+    "failover.server": 17,
+    "overlay.repair": 18,
+}
+
 
 class TimeSeriesCollector:
     """Folds a time-ordered trace-row stream into fixed windows.
@@ -178,10 +192,19 @@ class TimeSeriesCollector:
         table = collector.finalize(content_hash=spec.content_hash())
     """
 
-    def __init__(self, window_s: float = DEFAULT_WINDOW_S):
+    def __init__(
+        self, window_s: float = DEFAULT_WINDOW_S, include_faults: bool = False
+    ):
         if window_s <= 0:
             raise ValueError("window_s must be positive")
         self.window_s = float(window_s)
+        #: Fault-recovery columns appear only when the run was fault-
+        #: injected; the per-instance dispatch map keeps the hot path
+        #: identical either way (one dict probe).
+        self._include_faults = bool(include_faults)
+        self._codes = dict(_ROW_CODES)
+        if self._include_faults:
+            self._codes.update(_FAULT_ROW_CODES)
         self._records: List[Dict[str, Any]] = []
         self._index = 0
         self._window_end = self.window_s
@@ -213,6 +236,14 @@ class TimeSeriesCollector:
         self._stall_events = 0
         self._reports = 0
         self._stalled_reports = 0
+        # Fault-recovery counters (recorded only under include_faults).
+        self._crashes = 0
+        self._interrupted = 0
+        self._failover_retries = 0
+        self._failover_resumes = 0
+        self._failover_server = 0
+        self._failover_latency_sum_s = 0.0
+        self._repaired_links = 0
 
     def _flush_window(self) -> None:
         """Close the current window into a record and start the next."""
@@ -256,6 +287,19 @@ class TimeSeriesCollector:
             "pending_events": self._pending_events,
             "events_processed": self._events_processed,
         }
+        if self._include_faults:
+            failovers = self._failover_resumes + self._failover_server
+            record["crashes"] = self._crashes
+            record["interrupted"] = self._interrupted
+            record["failover_retries"] = self._failover_retries
+            record["failover_resumes"] = self._failover_resumes
+            record["failover_server"] = self._failover_server
+            record["failover_latency_ms_mean"] = (
+                1000.0 * self._failover_latency_sum_s / failovers
+                if failovers
+                else 0.0
+            )
+            record["repaired_links"] = self._repaired_links
         self._records.append(record)
         self._index += 1
         self._window_end = (self._index + 1) * self.window_s
@@ -275,7 +319,7 @@ class TimeSeriesCollector:
         kind = row["kind"]
         if kind != "event" and kind != "span_begin":
             return
-        code = _ROW_CODES.get(row["name"])
+        code = self._codes.get(row["name"])
         if code is None:
             return
         if row["t"] >= self._window_end:
@@ -329,9 +373,24 @@ class TimeSeriesCollector:
             self._leaves += 1
         elif code == 11:  # flood.ttl_exhausted: one failed search
             self._ttl_exhausted += 1
-        else:  # code 12, engine.tick: scheduler gauges
+        elif code == 12:  # engine.tick: scheduler gauges
             self._pending_events = attrs.get("pending", self._pending_events)
             self._events_processed = attrs.get("events", self._events_processed)
+        # Fault-recovery rows (codes mapped only under include_faults).
+        elif code == 13:  # churn.crash: one abrupt mid-session death
+            self._crashes += 1
+        elif code == 14:  # failover.interrupted: one severed transfer
+            self._interrupted += 1
+        elif code == 15:  # failover.retry: one backed-off re-search
+            self._failover_retries += 1
+        elif code == 16:  # failover.resume: resumed from a new peer
+            self._failover_resumes += 1
+            self._failover_latency_sum_s += attrs.get("latency_s", 0.0)
+        elif code == 17:  # failover.server: degraded server finish
+            self._failover_server += 1
+            self._failover_latency_sum_s += attrs.get("latency_s", 0.0)
+        else:  # code 18, overlay.repair: crash-repair sweep outcome
+            self._repaired_links += attrs.get("links", 0)
 
     def finalize(self, content_hash: str = "") -> TimeSeriesTable:
         """Close the trailing window and return the finished table.
@@ -379,7 +438,9 @@ def run_with_timeseries(
         print(run.table.series("server_share"))
     """
     tracer = Tracer(tick_every_s=window_s)
-    collector = TimeSeriesCollector(window_s=window_s)
+    collector = TimeSeriesCollector(
+        window_s=window_s, include_faults=spec.has_faults()
+    )
     tracer.set_sink(collector.observe_row)
     result = run_spec(
         spec,
@@ -408,11 +469,21 @@ def series_from_trace(
         table = series_from_trace(open(path, "rb").read())
         assert table.to_canonical_json() == live_table.to_canonical_json()
     """
-    collector = TimeSeriesCollector(window_s=window_s)
+    collector: Optional[TimeSeriesCollector] = None
     content_hash = ""
     for row in parse_jsonl_bytes(payload):
         if row.get("kind") == "header":
+            # The header's "faults" marker decides whether the replayed
+            # table carries the fault-recovery columns, matching what
+            # the live collector saw for the same spec.
             content_hash = row.get("content_hash", "")
+            collector = TimeSeriesCollector(
+                window_s=window_s, include_faults=bool(row.get("faults"))
+            )
             continue
+        if collector is None:
+            collector = TimeSeriesCollector(window_s=window_s)
         collector.observe_row(row)
+    if collector is None:
+        collector = TimeSeriesCollector(window_s=window_s)
     return collector.finalize(content_hash=content_hash)

@@ -1,0 +1,84 @@
+"""Unit tests for the declarative fault model (FaultPlan / RetryPolicy)."""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.detection_timeout_s == 2.0
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_factor=2.0, backoff_max_s=30.0)
+        assert [policy.backoff_delay(a) for a in range(5)] == [1.0, 2.0, 4.0, 8.0, 16.0]
+        assert policy.backoff_delay(10) == 30.0  # 1024 capped at the max
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_delay(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_retries=-1),
+            dict(detection_timeout_s=-0.1),
+            dict(backoff_base_s=-1.0),
+            dict(backoff_max_s=-1.0),
+            dict(backoff_factor=0.5),
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_zero(self):
+        assert FaultPlan().is_zero()
+
+    def test_demo_plan_is_nonzero_and_fires_every_class(self):
+        plan = FaultPlan.demo()
+        assert not plan.is_zero()
+        assert plan.crash_rate_per_hour > 0
+        assert plan.query_loss_prob > 0
+        assert plan.slow_peer_prob > 0
+        assert plan.brownout_period_s > 0 and plan.brownout_duty > 0
+
+    def test_brownout_needs_both_period_and_duty(self):
+        # A period with zero duty (or vice versa) can never fire.
+        assert FaultPlan(brownout_period_s=600.0).is_zero()
+        assert FaultPlan(brownout_duty=0.5).is_zero()
+        assert not FaultPlan(brownout_period_s=600.0, brownout_duty=0.5).is_zero()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(crash_rate_per_hour=-1.0),
+            dict(query_loss_prob=1.5),
+            dict(slow_peer_prob=-0.1),
+            dict(brownout_duty=2.0),
+            dict(slow_peer_factor=0.0),
+            dict(brownout_factor=1.5),
+            dict(brownout_period_s=-1.0),
+            dict(repair_window_s=0.0),
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_retry_must_be_policy(self):
+        with pytest.raises(TypeError):
+            FaultPlan(retry={"max_retries": 1})
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan.demo()
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+        assert rebuilt.retry == plan.retry
+
+    def test_from_dict_none_passes_through(self):
+        assert FaultPlan.from_dict(None) is None

@@ -1,0 +1,101 @@
+"""End-to-end fault injection: crash-churn, failover, and determinism.
+
+One fault-injected smoke run per protocol (module-scoped, reused across
+assertions) plus the two determinism contracts: a zero FaultPlan leaves
+the run byte-identical to a fault-free build, and a nonzero plan is
+byte-identical across repeated executions.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.trace_cache import shared_trace_cache
+from repro.faults.plan import FaultPlan
+from repro.obs.timeseries import run_with_timeseries
+
+PROTOCOLS = ("socialtube", "nettube", "pavod")
+
+
+def _chaos_spec(protocol, seed=77):
+    return ExperimentSpec(
+        protocol=protocol, config=SimulationConfig.smoke_scale(seed=seed)
+    ).with_faults(FaultPlan.demo())
+
+
+@pytest.fixture(scope="module", params=PROTOCOLS)
+def chaos_run(request):
+    """(runner, result) of one fault-injected smoke run per protocol."""
+    spec = _chaos_spec(request.param)
+    runner = ExperimentRunner(
+        spec, dataset=shared_trace_cache.dataset_for(spec.config.trace)
+    )
+    return runner, runner.run()
+
+
+class TestChaosRuns:
+    def test_faults_actually_fire(self, chaos_run):
+        _runner, result = chaos_run
+        assert result.metrics.crashes > 0
+        assert result.metrics.interrupted_transfers > 0
+
+    def test_every_interruption_resolves(self, chaos_run):
+        """Resume to a peer, fall over to the server, or die mid-failover
+        (the consumer itself crashed) -- never a lost session."""
+        runner, result = chaos_run
+        metrics = result.metrics
+        resolved = (
+            metrics.failover_peer_resumes + metrics.failover_server_fallbacks
+        )
+        assert resolved > 0
+        assert metrics.interrupted_transfers >= resolved
+        assert not runner._failovers  # nothing left dangling at run end
+        assert not runner._watches
+        assert not runner._consumers
+
+    def test_recovery_metrics_are_consistent(self, chaos_run):
+        _runner, result = chaos_run
+        metrics = result.metrics
+        assert metrics.failover_latency_ms_mean > 0
+        assert 0.0 <= metrics.degraded_serve_fraction <= 1.0
+        assert metrics.retries_per_serve >= 0.0
+
+    def test_overlay_survives_the_chaos(self, chaos_run):
+        """After every crash and repair sweep the link tables must obey
+        the invariants (pending repairs are tolerated by the checker)."""
+        runner, _result = chaos_run
+        structure = getattr(runner.protocol, "structure", None)
+        if structure is None:
+            pytest.skip("protocol has no hierarchical structure")
+        structure.assert_invariants()
+
+
+class TestDeterminism:
+    def test_zero_plan_is_byte_identical_to_no_plan(self):
+        base = ExperimentSpec(
+            protocol="socialtube", config=SimulationConfig.smoke_scale(seed=5)
+        )
+        zeroed = base.with_faults(FaultPlan())
+        a = run_with_timeseries(base)
+        b = run_with_timeseries(zeroed)
+        assert a.jsonl == b.jsonl
+        assert a.table.digest() == b.table.digest()
+        assert a.result.render_rows() == b.result.render_rows()
+
+    def test_fault_run_replays_byte_identically(self):
+        spec = _chaos_spec("socialtube", seed=5)
+        a = run_with_timeseries(spec)
+        b = run_with_timeseries(spec)
+        assert a.jsonl == b.jsonl
+        assert a.table.to_canonical_json() == b.table.to_canonical_json()
+
+    def test_fault_columns_only_on_fault_runs(self):
+        base = ExperimentSpec(
+            protocol="socialtube", config=SimulationConfig.smoke_scale(seed=5)
+        )
+        plain = run_with_timeseries(base)
+        chaos = run_with_timeseries(base.with_faults(FaultPlan.demo()))
+        assert "crashes" not in plain.table.windows[0]
+        assert "crashes" in chaos.table.windows[0]
+        assert sum(chaos.table.series("crashes")) > 0

@@ -1,0 +1,57 @@
+"""FaultPlan on ExperimentSpec: hash awareness and the zero-plan contract."""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.spec import ExperimentSpec
+from repro.faults.plan import FaultPlan
+
+
+@pytest.fixture()
+def base_spec():
+    return ExperimentSpec(
+        protocol="socialtube", config=SimulationConfig.smoke_scale(seed=7)
+    )
+
+
+class TestZeroPlan:
+    def test_no_plan_means_no_faults(self, base_spec):
+        assert not base_spec.has_faults()
+        assert base_spec.resolved_faults() is None
+        assert "faults" not in base_spec.canonical_payload()
+
+    def test_all_zero_plan_is_hash_identical_to_no_plan(self, base_spec):
+        """The acceptance contract: an all-zero FaultPlan changes nothing."""
+        zeroed = base_spec.with_faults(FaultPlan())
+        assert not zeroed.has_faults()
+        assert zeroed.resolved_faults() is None
+        assert zeroed.content_hash() == base_spec.content_hash()
+        assert zeroed.canonical_payload() == base_spec.canonical_payload()
+
+
+class TestNonzeroPlan:
+    def test_nonzero_plan_changes_the_hash(self, base_spec):
+        chaotic = base_spec.with_faults(FaultPlan.demo())
+        assert chaotic.has_faults()
+        assert chaotic.resolved_faults() == FaultPlan.demo()
+        assert chaotic.content_hash() != base_spec.content_hash()
+        assert chaotic.canonical_payload()["faults"] == FaultPlan.demo().to_dict()
+
+    def test_different_plans_hash_differently(self, base_spec):
+        a = base_spec.with_faults(FaultPlan(crash_rate_per_hour=1.0))
+        b = base_spec.with_faults(FaultPlan(crash_rate_per_hour=2.0))
+        assert a.content_hash() != b.content_hash()
+
+    def test_with_faults_preserves_the_rest_of_the_spec(self, base_spec):
+        chaotic = base_spec.with_faults(FaultPlan.demo())
+        assert chaotic.protocol == base_spec.protocol
+        assert chaotic.config == base_spec.config
+        assert chaotic.environment == base_spec.environment
+
+    def test_faults_must_be_a_plan(self):
+        with pytest.raises(TypeError):
+            ExperimentSpec(
+                protocol="socialtube",
+                config=SimulationConfig.smoke_scale(seed=7),
+                faults={"crash_rate_per_hour": 1.0},
+            )

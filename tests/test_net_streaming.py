@@ -6,6 +6,7 @@ from repro.net.streaming import (
     PlaybackReport,
     StreamingError,
     simulate_playback,
+    simulate_resume,
     stall_free_rate,
 )
 
@@ -101,6 +102,90 @@ class TestPrefetchedFirstChunk:
     def test_prefetch_smooth_at_adequate_rate(self):
         report = _play(rate=2 * BITRATE, prefetched=True)
         assert report.smooth
+
+
+class TestPrefetchedStartupPinned:
+    """Pins the prefetched branch: startup is exactly 0.0 and the
+    remaining chunks still stream from t=0 (the dead buffered_target
+    computation was deleted; behaviour must not move)."""
+
+    def test_startup_exactly_zero_regardless_of_buffer(self):
+        for buffer_s in (0.0, 2.0, 50.0, 1e6):
+            report = _play(rate=2 * BITRATE, buffer_s=buffer_s, prefetched=True)
+            assert report.startup_delay_s == 0.0
+
+    def test_arrival_schedule_shifts_by_exactly_one_chunk(self):
+        # Prefetching makes chunk 0 free and pulls every later arrival
+        # forward by one chunk-transfer time; total waiting (startup +
+        # stalls) drops by exactly that amount and nothing else moves.
+        rate = 0.5 * BITRATE
+        plain = _play(rate=rate)
+        prefetched = _play(rate=rate, prefetched=True)
+        chunk_transfer_s = (BITRATE * 10.0) / rate  # 20 chunks of a 200s video
+        assert prefetched.total_stall_s == pytest.approx(
+            plain.startup_delay_s + plain.total_stall_s - chunk_transfer_s,
+            rel=1e-9,
+        )
+
+
+class TestResume:
+    def _resume(self, rate=2 * BITRATE, chunks_done=10, position=100.0, gap=5.0):
+        return simulate_resume(
+            video_length_s=200.0,
+            bitrate_bps=BITRATE,
+            transfer_rate_bps=rate,
+            chunks=20,
+            chunks_done=chunks_done,
+            playback_position_s=position,
+            resume_gap_s=gap,
+        )
+
+    def test_completion_always_exceeds_the_gap(self):
+        report = self._resume(gap=7.0)
+        assert report.completion_s > 7.0
+
+    def test_fast_resume_stalls_only_for_the_gap(self):
+        # Playhead at the first missing chunk: the failover gap itself is
+        # the stall; a fast new provider adds nothing.
+        report = self._resume(rate=10 * BITRATE, chunks_done=10, position=100.0)
+        assert report.stall_count == 1
+        assert report.total_stall_s == pytest.approx(
+            5.0 + (BITRATE * 10.0) / (10 * BITRATE), rel=1e-9
+        )
+
+    def test_local_chunks_play_without_stalling(self):
+        # Playhead well behind the transfer edge: the already-delivered
+        # chunks cover the failover gap entirely.
+        report = self._resume(rate=2 * BITRATE, chunks_done=15, position=10.0, gap=5.0)
+        assert report.total_stall_s == 0.0
+
+    def test_slow_new_provider_keeps_stalling(self):
+        report = self._resume(rate=0.5 * BITRATE, chunks_done=10, position=100.0)
+        assert report.stall_count > 1
+
+    def test_completion_covers_remaining_playback(self):
+        report = self._resume(rate=2 * BITRATE, chunks_done=10, position=100.0)
+        # 100s of video remain; completion includes them plus all stalls.
+        assert report.completion_s == pytest.approx(
+            100.0 + report.total_stall_s, rel=1e-9
+        )
+
+    def test_stall_durations_sum(self):
+        report = self._resume(rate=0.5 * BITRATE)
+        assert sum(report.stalls) == pytest.approx(report.total_stall_s)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(chunks_done=20),  # nothing left to resume
+            dict(chunks_done=-1),
+            dict(gap=-1.0),
+            dict(rate=0.0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(StreamingError):
+            self._resume(**kwargs)
 
 
 class TestHelpers:

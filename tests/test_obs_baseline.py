@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.obs.baseline import (
+    CHAOS_METRICS,
     DEFAULT_TOLERANCES,
     Deviation,
     baseline_path,
@@ -83,7 +84,9 @@ def test_capture_payload_shape(payload):
     assert payload["scale"] == "smoke"
     assert len(payload["series_digest"]) == 64
     assert payload["num_windows"] > 0
-    assert set(DEFAULT_TOLERANCES) == set(payload["metrics"])
+    # fault-free captures carry every banded metric except the
+    # chaos-only recovery set (those appear only under a fault plan)
+    assert set(payload["metrics"]) == set(DEFAULT_TOLERANCES) - set(CHAOS_METRICS)
 
 
 def test_spec_roundtrips_through_payload(payload):

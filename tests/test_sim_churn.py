@@ -67,3 +67,57 @@ class TestChurnModel:
         assert [a.off_duration() for _ in range(5)] == [
             b.off_duration() for _ in range(5)
         ]
+
+
+class _RecordingTracer:
+    """Truthy stand-in capturing (name, attrs) event tuples."""
+
+    def __init__(self):
+        self.events = []
+
+    def event(self, name, **attrs):
+        self.events.append((name, attrs))
+
+
+class TestEdgeCases:
+    def test_zero_warmup_window_joins_at_time_zero(self):
+        plan = SessionPlan(5, 10, 500)
+        model = ChurnModel(plan, random.Random(1), warmup_window=0.0)
+        for _ in range(20):
+            assert model.initial_join_delay() == 0.0
+
+    def test_zero_warmup_still_emits_join_delay_event(self):
+        plan = SessionPlan(5, 10, 500)
+        tracer = _RecordingTracer()
+        model = ChurnModel(plan, random.Random(1), warmup_window=0.0, tracer=tracer)
+        model.initial_join_delay()
+        assert tracer.events == [("churn.join_delay", {"delay": 0.0})]
+
+    def test_zero_mean_off_time_draws_no_randomness(self):
+        """The fast path must not touch the RNG stream: a later consumer
+        sharing the stream sees the same sequence either way."""
+        plan = SessionPlan(5, 10, mean_off_time=0.0)
+        rng = random.Random(33)
+        model = ChurnModel(plan, rng)
+        state_before = rng.getstate()
+        for _ in range(10):
+            assert model.off_duration() == 0.0
+        assert rng.getstate() == state_before
+
+    def test_zero_mean_off_time_emits_no_event(self):
+        plan = SessionPlan(5, 10, mean_off_time=0.0)
+        tracer = _RecordingTracer()
+        model = ChurnModel(plan, random.Random(33), tracer=tracer)
+        model.off_duration()
+        assert tracer.events == []
+
+    def test_event_attributes_carry_the_drawn_values(self):
+        plan = SessionPlan(5, 10, 500)
+        tracer = _RecordingTracer()
+        model = ChurnModel(plan, random.Random(8), warmup_window=600.0, tracer=tracer)
+        delay = model.initial_join_delay()
+        duration = model.off_duration()
+        assert tracer.events == [
+            ("churn.join_delay", {"delay": delay}),
+            ("churn.off_time", {"dur": duration}),
+        ]
