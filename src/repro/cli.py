@@ -140,13 +140,28 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.ast_rules import RULE_DESCRIPTIONS
+    from repro.lint.explain import explain_rule
     from repro.lint.runner import run_lint
 
     if args.list_rules:
         for rule_id in sorted(RULE_DESCRIPTIONS):
             print(f"{rule_id}: {RULE_DESCRIPTIONS[rule_id]}")
         return 0
-    return run_lint(paths=args.paths or None, output_format=args.format)
+    if args.explain:
+        text = explain_rule(args.explain)
+        if text is None:
+            print(f"unknown rule id {args.explain!r}; see --list-rules")
+            return 2
+        print(text)
+        return 0
+    output_format = "json" if args.json else args.format
+    return run_lint(
+        paths=args.paths or None,
+        output_format=output_format,
+        baseline_path=args.baseline,
+        use_baseline=not args.no_baseline,
+        update_baseline=args.update_baseline,
+    )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -328,7 +343,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--format", choices=("text", "json"), default="text", help="output format"
     )
     p_lint.add_argument(
+        "--json", action="store_true", help="shorthand for --format json"
+    )
+    p_lint.add_argument(
         "--list-rules", action="store_true", help="print every rule id and exit"
+    )
+    p_lint.add_argument(
+        "--explain", metavar="RULE",
+        help="print the long-form explanation for one rule id and exit",
+    )
+    p_lint.add_argument(
+        "--baseline", default=None,
+        help="explicit baseline file (default: discover tools/lint_baseline.json "
+        "above the lint root)",
+    )
+    p_lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the checked-in baseline",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current finding set and exit 0",
     )
     p_lint.set_defaults(func=_cmd_lint)
 

@@ -1,3 +1,4 @@
+# shard: module=shard-local -- instances live and die inside one run/shard
 """Analytical models from the paper.
 
 * Section IV-C's maintenance-overhead comparison (Fig 15):

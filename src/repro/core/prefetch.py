@@ -1,3 +1,4 @@
+# shard: module=shard-local -- instances live and die inside one run/shard
 """Channel-facilitated popularity-based prefetching (Section IV-B).
 
 While a node watches a fully downloaded video, it prefetches the first

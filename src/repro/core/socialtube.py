@@ -1,3 +1,4 @@
+# shard: module=shard-local -- instances live and die inside one run/shard
 """The SocialTube protocol (Section IV).
 
 Ties together the two-level hierarchical structure, Algorithm 1's

@@ -52,6 +52,7 @@ def export_figure_series(figure: FigureSeries, outdir: str) -> List[str]:
             },
             fh,
             indent=2,
+            sort_keys=True,
         )
     written.append(meta_path)
     return written
@@ -88,6 +89,7 @@ def export_evaluation_figure(figure: EvaluationFigure, outdir: str) -> List[str]
             },
             fh,
             indent=2,
+            sort_keys=True,
         )
     return [path, meta_path]
 

@@ -26,7 +26,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.registry import get_protocol, resolve_params
@@ -34,7 +34,7 @@ from repro.faults.plan import FaultPlan
 
 #: Bumped when the canonical serialization changes shape, so stale
 #: on-disk caches keyed by content_hash can never alias a new layout.
-_SPEC_SCHEMA_VERSION = 1
+_SPEC_SCHEMA_VERSION = 1  # shard: shared-read
 
 
 def canonical_json(value: Any) -> str:
@@ -198,7 +198,9 @@ class ExperimentSpec:
         return int(self.content_hash()[:16], 16)
 
 
-def seed_sweep(spec: ExperimentSpec, seeds) -> Tuple[ExperimentSpec, ...]:
+def seed_sweep(
+    spec: ExperimentSpec, seeds: Iterable[int]
+) -> Tuple[ExperimentSpec, ...]:
     """One spec per seed, in the given order (duplicates preserved).
 
     Example::

@@ -1,23 +1,13 @@
-"""AST determinism rules for the reproduction's source tree.
+"""Single-pass AST determinism rules for the reproduction's source tree.
 
 The headline claim of the harness is bit-for-bit repeatability from a
 single seed (see :mod:`repro.sim.rng`); these rules mechanically reject
 the ways that claim silently breaks:
 
-``global-random``
-    ``random.random()``, ``random.seed()``, ``numpy.random.*`` and
-    friends draw from hidden module-global state that any import can
-    perturb.  All randomness must flow through :class:`RngStreams` or an
-    injected :class:`random.Random`.  :mod:`repro.sim.rng` itself is
-    exempt -- it is the sanctioned wrapper.
 ``wall-clock``
     ``time.time()``, ``datetime.now()`` etc. make results depend on the
     machine's clock.  Simulated time comes only from
     ``EventScheduler.now``.
-``set-iteration``
-    Iterating a ``set``/``frozenset`` (or feeding one to ``list``,
-    ``enumerate``, ``rng.choice``...) yields hash-order, which varies
-    across runs and interpreter versions; wrap in ``sorted(...)``.
 ``unused-import``
     Dead imports hide real dependencies and rot silently.
 ``dead-name``
@@ -43,175 +33,54 @@ the ways that claim silently breaks:
     carry docstrings; only files flagged
     ``requires_public_docstrings`` are checked.
 
+The ``global-random`` and ``set-iteration`` rules started here and
+moved to the flow/program pass in :mod:`repro.lint.dataflow`; they are
+re-exported below with identical ids, messages, and severities, so both
+existing imports and existing ``# lint: disable=`` comments keep
+working.
+
 Each rule emits :class:`repro.lint.findings.Finding` rows; a finding is
 silenced for one line with ``# lint: disable=<rule-id>``.
+:data:`RULE_DESCRIPTIONS` is the *combined* registry -- single-pass,
+flow, program, and runner-emitted ids alike -- because the CLI's
+``--list-rules``/``--explain`` and the docs validator treat it as the
+one source of truth.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
+from repro.lint.base import (
+    Rule,
+    dotted_name as _dotted_name,
+    walk_skipping_nested_functions as _walk_skipping_nested_functions,
+)
+from repro.lint.dataflow import (
+    RULE_INFO as _DATAFLOW_RULE_INFO,
+    GlobalRandomRule,
+    SetIterationRule,
+)
 from repro.lint.findings import Finding, RuleContext
 
-# ---------------------------------------------------------------------------
-# shared helpers
-
-
-def _dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _walk_skipping_nested_functions(node: ast.AST) -> Iterable[ast.AST]:
-    """Yield ``node``'s subtree but stop at nested function boundaries."""
-    stack = list(ast.iter_child_nodes(node))
-    while stack:
-        child = stack.pop()
-        yield child
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            continue
-        stack.extend(ast.iter_child_nodes(child))
-
-
-class Rule:
-    """Base class: one rule id, one ``check`` pass over a module tree."""
-
-    rule_id: str = ""
-    description: str = ""
-
-    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
-        raise NotImplementedError
-
-    def finding(self, ctx: RuleContext, node: ast.AST, message: str) -> Finding:
-        return Finding(
-            path=ctx.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            rule=self.rule_id,
-            message=message,
-        )
-
-
-# ---------------------------------------------------------------------------
-# (a) module-global randomness
-
-
-#: ``from random import X`` bindings that are safe: classes producing an
-#: *owned* generator, not draws from the hidden module-global instance.
-_SAFE_RANDOM_NAMES = {"Random"}
-
-#: ``numpy.random`` attributes that construct independent generators
-#: rather than touching the legacy global state.
-_SAFE_NUMPY_RANDOM = {
-    "default_rng",
-    "Generator",
-    "RandomState",
-    "SeedSequence",
-    "BitGenerator",
-    "PCG64",
-    "Philox",
-    "MT19937",
-    "SFC64",
-}
-
-
-class GlobalRandomRule(Rule):
-    rule_id = "global-random"
-    description = (
-        "module-global random state (random.*, numpy.random.*) outside sim/rng.py; "
-        "use RngStreams or an injected random.Random"
-    )
-
-    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
-        if ctx.is_rng_module:
-            return []
-        findings: List[Finding] = []
-        # alias -> canonical module ("random" | "numpy.random" | "numpy")
-        module_aliases: Dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name == "random":
-                        module_aliases[alias.asname or "random"] = "random"
-                    elif alias.name == "numpy":
-                        module_aliases[alias.asname or "numpy"] = "numpy"
-                    elif alias.name == "numpy.random":
-                        if alias.asname:
-                            module_aliases[alias.asname] = "numpy.random"
-                        else:
-                            module_aliases["numpy"] = "numpy"
-            elif isinstance(node, ast.ImportFrom) and node.level == 0:
-                if node.module == "random":
-                    for alias in node.names:
-                        if alias.name not in _SAFE_RANDOM_NAMES:
-                            findings.append(
-                                self.finding(
-                                    ctx,
-                                    node,
-                                    f"'from random import {alias.name}' binds the "
-                                    "module-global RNG; inject a random.Random "
-                                    "(from repro.sim.rng.RngStreams) instead",
-                                )
-                            )
-                elif node.module in ("numpy", "numpy.random"):
-                    for alias in node.names:
-                        if node.module == "numpy" and alias.name == "random":
-                            module_aliases[alias.asname or "random"] = "numpy.random"
-                        elif (
-                            node.module == "numpy.random"
-                            and alias.name not in _SAFE_NUMPY_RANDOM
-                        ):
-                            findings.append(
-                                self.finding(
-                                    ctx,
-                                    node,
-                                    f"'from numpy.random import {alias.name}' draws from "
-                                    "numpy's global state; use default_rng(seed)",
-                                )
-                            )
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.Attribute):
-                continue
-            dotted = _dotted_name(node)
-            if dotted is None:
-                continue
-            root, _, rest = dotted.partition(".")
-            canonical = module_aliases.get(root)
-            if canonical is None:
-                continue
-            full = canonical + "." + rest if rest else canonical
-            if full.startswith("random."):
-                attr = full.split(".", 1)[1]
-                if "." not in attr and attr not in _SAFE_RANDOM_NAMES:
-                    findings.append(
-                        self.finding(
-                            ctx,
-                            node,
-                            f"'random.{attr}' uses the module-global RNG; route "
-                            "randomness through RngStreams or an injected Random",
-                        )
-                    )
-            elif full.startswith("numpy.random."):
-                attr = full.split(".", 2)[2]
-                if "." not in attr and attr not in _SAFE_NUMPY_RANDOM:
-                    findings.append(
-                        self.finding(
-                            ctx,
-                            node,
-                            f"'numpy.random.{attr}' uses numpy's global RNG state; "
-                            "use numpy.random.default_rng(seed)",
-                        )
-                    )
-        return findings
+__all__ = [
+    "ALL_AST_RULES",
+    "RULE_DESCRIPTIONS",
+    "RULE_SEVERITIES",
+    "Rule",
+    "GlobalRandomRule",
+    "SetIterationRule",
+    "WallClockRule",
+    "UnusedImportRule",
+    "DeadNameRule",
+    "BroadExceptRule",
+    "FloatTimeEqRule",
+    "DirectProtocolInstantiationRule",
+    "MissingPublicDocstringRule",
+    "collect_findings",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +107,7 @@ _WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
 
 class WallClockRule(Rule):
     rule_id = "wall-clock"
+    severity = "high"
     description = (
         "wall-clock access (time.time, datetime.now, ...); simulated time "
         "comes only from EventScheduler.now"
@@ -312,86 +182,6 @@ class WallClockRule(Rule):
 
 
 # ---------------------------------------------------------------------------
-# (c) hash-order iteration over sets
-
-
-def _is_set_expression(node: ast.AST) -> bool:
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
-    return False
-
-
-#: Calls whose argument order the caller observes (order-sensitive sinks).
-_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter", "reversed"}
-
-#: RNG methods whose outcome depends on the order of the passed sequence.
-_ORDER_SENSITIVE_METHODS = {"choice", "choices", "sample", "shuffle"}
-
-
-class SetIterationRule(Rule):
-    rule_id = "set-iteration"
-    description = (
-        "iteration over a set/frozenset feeds hash-order into downstream "
-        "logic; wrap in sorted(...) for a deterministic sequence"
-    )
-
-    def _msg(self, how: str) -> str:
-        return (
-            f"set/frozenset {how} exposes nondeterministic hash order; "
-            "wrap the set in sorted(...)"
-        )
-
-    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
-        findings: List[Finding] = []
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.For, ast.AsyncFor)):
-                if _is_set_expression(node.iter):
-                    findings.append(
-                        self.finding(ctx, node.iter, self._msg("iterated by a for loop"))
-                    )
-            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
-                for generator in node.generators:
-                    if _is_set_expression(generator.iter):
-                        findings.append(
-                            self.finding(
-                                ctx,
-                                generator.iter,
-                                self._msg("iterated by a comprehension"),
-                            )
-                        )
-            elif isinstance(node, ast.Call):
-                if (
-                    isinstance(node.func, ast.Name)
-                    and node.func.id in _ORDER_SENSITIVE_BUILTINS
-                    and node.args
-                    and _is_set_expression(node.args[0])
-                ):
-                    findings.append(
-                        self.finding(
-                            ctx,
-                            node.args[0],
-                            self._msg(f"passed to {node.func.id}()"),
-                        )
-                    )
-                elif (
-                    isinstance(node.func, ast.Attribute)
-                    and node.func.attr in _ORDER_SENSITIVE_METHODS
-                    and node.args
-                    and _is_set_expression(node.args[0])
-                ):
-                    findings.append(
-                        self.finding(
-                            ctx,
-                            node.args[0],
-                            self._msg(f"passed to .{node.func.attr}()"),
-                        )
-                    )
-        return findings
-
-
-# ---------------------------------------------------------------------------
 # (d) unused imports and dead names
 
 
@@ -425,6 +215,7 @@ def _annotation_string_names(tree: ast.Module) -> Set[str]:
 
 class UnusedImportRule(Rule):
     rule_id = "unused-import"
+    severity = "low"
     description = "imported name is never used in the module"
 
     def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
@@ -498,6 +289,7 @@ def _is_pure_expression(node: ast.AST) -> bool:
 
 class DeadNameRule(Rule):
     rule_id = "dead-name"
+    severity = "low"
     description = (
         "local name assigned a side-effect-free value and never read "
         "(dead code; prefix with '_' if intentional)"
@@ -546,6 +338,7 @@ class DeadNameRule(Rule):
 
 class BroadExceptRule(Rule):
     rule_id = "broad-except"
+    severity = "medium"
     description = (
         "bare 'except' / 'except Exception' swallows simulation bugs "
         "inside event callbacks; catch the specific exception or re-raise"
@@ -599,6 +392,7 @@ def _is_sim_time_expr(node: ast.AST) -> bool:
 
 class FloatTimeEqRule(Rule):
     rule_id = "float-time-eq"
+    severity = "medium"
     description = (
         "float == / != against a simulated-time expression; use ordering "
         "comparisons or an explicit tolerance"
@@ -640,6 +434,7 @@ class FloatTimeEqRule(Rule):
 
 class DirectProtocolInstantiationRule(Rule):
     rule_id = "direct-protocol-instantiation"
+    severity = "medium"
     description = (
         "a *Protocol class constructed outside the protocol registry; "
         "go through repro.experiments.registry.create_protocol so "
@@ -688,6 +483,7 @@ class MissingPublicDocstringRule(Rule):
     """
 
     rule_id = "missing-public-docstring"
+    severity = "low"
     description = (
         "public class/function on the documented API surface lacks a "
         "docstring (packages opted in via requires_public_docstrings)"
@@ -734,10 +530,10 @@ class MissingPublicDocstringRule(Rule):
 # registry
 
 
+#: The remaining single-pass rules (the migrated pair now runs from the
+#: dataflow pass so every file gets exactly one copy of each rule).
 ALL_AST_RULES: Tuple[Rule, ...] = (
-    GlobalRandomRule(),
     WallClockRule(),
-    SetIterationRule(),
     UnusedImportRule(),
     DeadNameRule(),
     BroadExceptRule(),
@@ -746,14 +542,42 @@ ALL_AST_RULES: Tuple[Rule, ...] = (
     MissingPublicDocstringRule(),
 )
 
-#: rule id -> human description, for docs and the CLI `--list-rules` view.
+#: Findings the runner emits itself (not tied to a Rule instance).
+_RUNNER_RULE_INFO: Dict[str, Tuple[str, str]] = {
+    "syntax-error": ("high", "file does not parse; nothing else can be checked"),
+    "io-error": ("high", "file cannot be read"),
+    "bad-suppression": (
+        "low",
+        "'# lint: disable=' names no rules; list rule ids or 'all'",
+    ),
+}
+
+#: rule id -> human description for *every* id the analyzer can emit --
+#: single-pass, flow, program, and runner-internal alike.
 RULE_DESCRIPTIONS: Dict[str, str] = {
     rule.rule_id: rule.description for rule in ALL_AST_RULES
 }
+RULE_DESCRIPTIONS.update(
+    {rule_id: desc for rule_id, (_sev, desc) in _DATAFLOW_RULE_INFO.items()}
+)
+RULE_DESCRIPTIONS.update(
+    {rule_id: desc for rule_id, (_sev, desc) in _RUNNER_RULE_INFO.items()}
+)
+
+#: rule id -> severity, same coverage as RULE_DESCRIPTIONS.
+RULE_SEVERITIES: Dict[str, str] = {
+    rule.rule_id: rule.severity for rule in ALL_AST_RULES
+}
+RULE_SEVERITIES.update(
+    {rule_id: sev for rule_id, (sev, _desc) in _DATAFLOW_RULE_INFO.items()}
+)
+RULE_SEVERITIES.update(
+    {rule_id: sev for rule_id, (sev, _desc) in _RUNNER_RULE_INFO.items()}
+)
 
 
 def collect_findings(tree: ast.Module, ctx: RuleContext) -> List[Finding]:
-    """Run every AST rule over one parsed module."""
+    """Run every single-pass AST rule over one parsed module."""
     findings: List[Finding] = []
     for rule in ALL_AST_RULES:
         findings.extend(rule.check(tree, ctx))

@@ -1,0 +1,92 @@
+"""Shared infrastructure for lint rules: the rule base class, severity
+levels, and small AST helpers used by both the single-pass rules
+(:mod:`repro.lint.ast_rules`) and the flow/program passes
+(:mod:`repro.lint.dataflow`).
+
+Severities order findings for the baseline gate: ``high`` findings fail
+CI even when older ``medium``/``low`` findings are still being burned
+down through ``tools/lint_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional
+
+from repro.lint.findings import Finding, RuleContext
+
+#: Severity levels, most severe first (the report orders rollups this way).
+SEVERITY_LEVELS = ("high", "medium", "low")
+
+#: Default severity when a rule does not declare one.
+DEFAULT_SEVERITY = "medium"
+
+
+def severity_rank(severity: str) -> int:
+    """0 for ``high``, 1 for ``medium``, 2 for ``low`` (unknown sorts last)."""
+    try:
+        return SEVERITY_LEVELS.index(severity)
+    except ValueError:
+        return len(SEVERITY_LEVELS)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_skipping_nested_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``node``'s subtree but stop at nested function boundaries."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """Syntactically set-typed: a set literal/comprehension or ``set(...)``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class Rule:
+    """Base class: one rule id, one ``check`` pass over a module tree."""
+
+    rule_id: str = ""
+    description: str = ""
+    severity: str = DEFAULT_SEVERITY
+
+    def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: RuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+def iter_function_defs(tree: ast.Module) -> Iterable[ast.AST]:
+    """Every function/method definition node in a module tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

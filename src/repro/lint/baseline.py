@@ -1,0 +1,110 @@
+"""Checked-in lint baseline.
+
+``tools/lint_baseline.json`` records the fingerprints of known,
+to-be-burned-down findings.  A baselined finding does not fail the lint
+gate; anything *new* does.  Entries whose fingerprint no longer matches
+any current finding are reported as stale so the baseline shrinks
+monotonically instead of rotting.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "fingerprints": {
+        "<16-hex>": {"path": ..., "rule": ..., "line": ..., "message": ...}
+      }
+    }
+
+The location fields are informational (for humans diffing the file);
+suppression matches on the fingerprint alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+#: Repo-relative location of the baseline, discovered by walking up
+#: from the lint root.
+BASELINE_RELPATH = os.path.join("tools", "lint_baseline.json")
+
+_SCHEMA = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint set loaded from ``tools/lint_baseline.json``."""
+
+    path: Optional[str] = None
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def fingerprints(self) -> frozenset:
+        return frozenset(self.entries)
+
+    def split(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """(new, suppressed, stale fingerprints) for a finding list."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        seen = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                suppressed.append(finding)
+                seen.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(fp for fp in self.entries if fp not in seen)
+        return new, suppressed, stale
+
+
+def discover_baseline_path(lint_root: str) -> Optional[str]:
+    """Walk up from the lint root looking for ``tools/lint_baseline.json``."""
+    current = os.path.abspath(lint_root)
+    while True:
+        candidate = os.path.join(current, BASELINE_RELPATH)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def load_baseline(path: Optional[str]) -> Baseline:
+    """Load a baseline file; a missing path yields an empty baseline."""
+    if path is None or not os.path.isfile(path):
+        return Baseline(path=path)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"unsupported lint baseline schema in {path!r}; expected "
+            f'{{"schema": {_SCHEMA}, ...}}'
+        )
+    entries = payload.get("fingerprints", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed 'fingerprints' table in {path!r}")
+    return Baseline(path=path, entries=dict(entries))
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    """Serialize the current finding set as the new baseline (sorted,
+    byte-deterministic)."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for finding in sorted(findings):
+        entries[finding.fingerprint] = {
+            "path": finding.path,
+            "rule": finding.rule,
+            "line": finding.line,
+            "message": finding.message,
+        }
+    payload = {"schema": _SCHEMA, "fingerprints": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

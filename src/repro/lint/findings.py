@@ -14,13 +14,22 @@ from typing import Any, Dict
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``severity`` is one of ``high``/``medium``/``low`` (see
+    :mod:`repro.lint.base`); ``fingerprint`` is a location-drift-stable
+    id assigned by :mod:`repro.lint.fingerprint` when a report is
+    assembled (empty for findings constructed in isolation, e.g. by
+    :func:`repro.lint.runner.lint_source` unit tests).
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    severity: str = "medium"
+    fingerprint: str = ""
 
     def render(self) -> str:
         """``path:line:col: rule-id: message`` -- the text-format row."""
@@ -33,6 +42,8 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
         }
 
 
@@ -59,3 +70,13 @@ class RuleContext:
     #: Packages whose public API must carry docstrings
     #: (missing-public-docstring); opt-in per path, see lint.runner.
     requires_public_docstrings: bool = False
+    #: The shard-scope package this module belongs to ("sim", "overlay",
+    #: "net", "core", "workload", "experiments", "faults", "metrics"),
+    #: or None when the shard-safety rules do not apply to the file.
+    shard_package: "str | None" = None
+    #: The four PDES-critical packages additionally require a
+    #: module-level ``# shard: module=<class>`` ownership declaration.
+    requires_module_shard_decl: bool = False
+    #: Dotted module name when known ("repro.sim.engine"); program-pass
+    #: rules use it to attribute findings across modules.
+    module_name: "str | None" = None

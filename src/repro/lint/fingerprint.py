@@ -1,0 +1,61 @@
+"""Stable finding fingerprints.
+
+A fingerprint identifies a finding across line drift: it hashes the
+*relative* path, the rule id, the message text, and an occurrence index
+among findings with the same (path, rule, message) triple -- but not the
+line/column.  Editing unrelated code above a finding therefore does not
+invalidate a baseline entry, while a second identical defect in the same
+file gets its own id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+
+def relative_path(path: str, root: str) -> str:
+    """``path`` relative to ``root`` with forward slashes (falls back to
+    the basename when the path is outside the root)."""
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:  # pragma: no cover - windows drive mismatch
+        rel = os.path.basename(path)
+    if rel.startswith(".."):
+        rel = os.path.basename(path)
+    return rel.replace(os.sep, "/")
+
+
+def compute_fingerprint(relpath: str, rule: str, message: str, index: int) -> str:
+    """16-hex-char sha256 over the identity tuple."""
+    payload = "\x00".join((relpath, rule, message, str(index)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def assign_fingerprints(findings: List[Finding], root: str) -> List[Finding]:
+    """Return findings (sorted) with fingerprints filled in.
+
+    Findings are sorted first so the occurrence index among identical
+    (path, rule, message) triples is deterministic.
+    """
+    ordered = sorted(findings)
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Finding] = []
+    for finding in ordered:
+        relpath = relative_path(finding.path, root)
+        key = (relpath, finding.rule, finding.message)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        out.append(
+            replace(
+                finding,
+                fingerprint=compute_fingerprint(
+                    relpath, finding.rule, finding.message, index
+                ),
+            )
+        )
+    return out

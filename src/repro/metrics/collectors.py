@@ -271,7 +271,9 @@ class MetricsCollector:
         """Per-node normalized peer bandwidth (the Fig 16 population)."""
         nodes = set(self._peer_chunks) | set(self._server_chunks)
         fractions = []
-        for node in nodes:
+        # Sorted: the fractions feed mean(), and float summation order
+        # must not depend on set hash order.
+        for node in sorted(nodes):
             peer = self._peer_chunks[node]
             server = self._server_chunks[node]
             total = peer + server

@@ -1,3 +1,4 @@
+# shard: module=shard-local -- instances live and die inside one run/shard
 """Pairwise latency models.
 
 One-way latencies drive two delays the paper measures:
@@ -19,10 +20,10 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from random import Random
-from typing import Dict, List, Tuple
+from typing import Dict, Sequence, Tuple
 
 #: Node id reserved for the central server in latency computations.
-SERVER_NODE_ID = -1
+SERVER_NODE_ID = -1  # shard: shared-read
 
 
 class LatencyModel(ABC):
@@ -119,14 +120,17 @@ class WanLatencyModel(LatencyModel):
     """
 
     #: Representative one-way inter-site latencies in seconds (symmetric).
-    DEFAULT_SITE_LATENCY: List[List[float]] = [
-        [0.015, 0.045, 0.120, 0.150, 0.220, 0.180],
-        [0.045, 0.018, 0.100, 0.130, 0.250, 0.200],
-        [0.120, 0.100, 0.020, 0.060, 0.160, 0.140],
-        [0.150, 0.130, 0.060, 0.022, 0.180, 0.120],
-        [0.220, 0.250, 0.160, 0.180, 0.025, 0.090],
-        [0.180, 0.200, 0.140, 0.120, 0.090, 0.020],
-    ]
+    #: Frozen (tuple-of-tuples): the class attribute is shared by every
+    #: instance, so a mutable matrix here would let one model's edit
+    #: leak into all others.
+    DEFAULT_SITE_LATENCY: Tuple[Tuple[float, ...], ...] = (
+        (0.015, 0.045, 0.120, 0.150, 0.220, 0.180),
+        (0.045, 0.018, 0.100, 0.130, 0.250, 0.200),
+        (0.120, 0.100, 0.020, 0.060, 0.160, 0.140),
+        (0.150, 0.130, 0.060, 0.022, 0.180, 0.120),
+        (0.220, 0.250, 0.160, 0.180, 0.025, 0.090),
+        (0.180, 0.200, 0.140, 0.120, 0.090, 0.020),
+    )
 
     def __init__(
         self,
@@ -134,7 +138,7 @@ class WanLatencyModel(LatencyModel):
         jitter_sigma: float = 0.45,
         congestion_prob: float = 0.05,
         congestion_factor: float = 6.0,
-        site_latency: List[List[float]] = None,
+        site_latency: Sequence[Sequence[float]] = None,
     ):
         if not 0 <= congestion_prob <= 1:
             raise ValueError("congestion_prob must be in [0, 1]")

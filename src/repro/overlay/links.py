@@ -1,3 +1,4 @@
+# shard: module=shard-local -- instances live and die inside one run/shard
 """Capped neighbor-set management.
 
 A node's overlay links are the thing the paper's maintenance-overhead

@@ -1,3 +1,4 @@
+# shard: module=shard-local -- instances live and die inside one run/shard
 """Event-driven simulation kernel.
 
 The engine is a classic calendar-queue simulator: a binary heap of

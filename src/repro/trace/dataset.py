@@ -199,7 +199,7 @@ class TraceDataset:
                 for u in self.users.values()
             ],
         }
-        return json.dumps(payload)
+        return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "TraceDataset":

@@ -23,6 +23,11 @@ Two checks, both offline:
   the same cell count on every row; a dropped ``|`` silently shifts
   every column to the right of it, which is exactly the corruption the
   field-catalogue tables in docs/tracing.md cannot afford.
+* **Lint rule reference** -- ``docs/lint.md`` must document every rule
+  id the analyzer registers (``repro.lint.RULE_DESCRIPTIONS``) with a
+  ``#### `rule-id` (severity)`` heading whose severity matches the
+  registry, and must not document rule ids that no longer exist.  This
+  keeps the rule reference from drifting as rules are added/renamed.
 
 Exit code 0 when clean, 1 with one ``file:line: message`` row per
 problem otherwise.
@@ -34,6 +39,9 @@ import os
 import re
 import sys
 from typing import Iterable, List, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
 #: Markdown inline link: [text](target) -- ignores images' leading ``!``
 #: by matching them identically (image paths must exist too).
@@ -225,15 +233,55 @@ def check_tables(path: str, lines: List[str]) -> List[str]:
     return problems
 
 
+#: ``#### `rule-id` (severity)`` -- one heading per analyzer rule.
+_RULE_HEADING_RE = re.compile(r"^####\s+`([a-z0-9-]+)`\s+\((high|medium|low)\)\s*$")
+
+
+def check_lint_rule_reference(path: str) -> List[str]:
+    """docs/lint.md documents exactly the analyzer's registered rules."""
+    from repro.lint import RULE_DESCRIPTIONS, RULE_SEVERITIES
+
+    problems: List[str] = []
+    documented: dict = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle.read().splitlines(), start=1):
+            match = _RULE_HEADING_RE.match(line)
+            if match:
+                documented[match.group(1)] = (lineno, match.group(2))
+    for rule_id in sorted(RULE_DESCRIPTIONS):
+        if rule_id not in documented:
+            problems.append(
+                f"{path}:1: rule {rule_id!r} is registered by the analyzer "
+                "but has no '#### `rule-id` (severity)' section"
+            )
+            continue
+        lineno, severity = documented[rule_id]
+        if severity != RULE_SEVERITIES[rule_id]:
+            problems.append(
+                f"{path}:{lineno}: rule {rule_id!r} documented as "
+                f"{severity!r} but registered as {RULE_SEVERITIES[rule_id]!r}"
+            )
+    for rule_id, (lineno, _severity) in sorted(documented.items()):
+        if rule_id not in RULE_DESCRIPTIONS:
+            problems.append(
+                f"{path}:{lineno}: documented rule {rule_id!r} is not "
+                "registered by the analyzer (renamed or removed?)"
+            )
+    return problems
+
+
 def check_file(path: str) -> List[str]:
     """All problems for one markdown file."""
     with open(path, "r", encoding="utf-8") as handle:
         lines = handle.read().splitlines()
-    return (
+    problems = (
         check_links(path, lines)
         + check_mermaid(path, lines)
         + check_tables(path, lines)
     )
+    if os.path.basename(path) == "lint.md" and "docs" in path.split(os.sep):
+        problems += check_lint_rule_reference(path)
+    return problems
 
 
 def run(paths: Iterable[str]) -> int:
