@@ -8,7 +8,8 @@ tracker-only) -> NetTube / SocialTube (cache + overlay).
 
 from conftest import BENCH_SIM_CONFIG, print_figure
 from repro.experiments.figures import EvaluationFigure, FigureRow
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ExperimentSpec
 
 
 def test_bench_gridcast_decomposition(benchmark, suite):
@@ -17,7 +18,9 @@ def test_bench_gridcast_decomposition(benchmark, suite):
             figure="Extension",
             title="Caching vs overlay-search decomposition",
         )
-        gridcast = run_experiment("gridcast", config=BENCH_SIM_CONFIG)
+        gridcast = run_spec(
+            ExperimentSpec(protocol="gridcast", config=BENCH_SIM_CONFIG)
+        )
         rows = [
             ("PA-VoD", suite.result("PA-VoD").metrics),
             ("GridCast", gridcast.metrics),

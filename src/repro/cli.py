@@ -52,6 +52,55 @@ def _parse_seeds(text: Optional[str]) -> Optional[List[int]]:
     return seeds
 
 
+def _run_flags_parent() -> argparse.ArgumentParser:
+    """The shared flag surface of every run-executing subcommand.
+
+    ``compare``, ``figures``, ``profile``, ``chaos``, ``dashboard`` and
+    ``regress`` all attach this parent, so ``--seed/--seeds/--jobs/
+    --shards`` carry the same spelling and help text everywhere instead
+    of drifting per-subcommand copies.  ``--seed`` defaults to
+    ``argparse.SUPPRESS`` so a subcommand-position ``--seed`` overrides
+    the top-level one without clobbering its default when absent.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS,
+        help="RNG seed (also accepted before the subcommand; default 2014)",
+    )
+    parent.add_argument(
+        "--seeds", default=None,
+        help="comma-separated seed list for a multi-seed sweep (e.g. 1,2,3)",
+    )
+    parent.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, the default); results are "
+        "byte-identical for any value",
+    )
+    parent.add_argument(
+        "--shards", type=int, default=1,
+        help="community-partitioned shards per run (1 = classic engine); "
+        "the determinism gate makes output byte-identical for any value",
+    )
+    return parent
+
+
+def _single_seed(args: argparse.Namespace, command: str) -> int:
+    """The one seed of a single-run command.
+
+    These commands replay exactly one trajectory, so ``--seeds`` is only
+    accepted as an alias for ``--seed`` when it names a single value.
+    """
+    seeds = _parse_seeds(args.seeds)
+    if seeds is None:
+        return args.seed
+    if len(seeds) > 1:
+        raise SystemExit(
+            f"{command} replays one seed per invocation; "
+            f"pass --seed N (got --seeds {args.seeds})"
+        )
+    return seeds[0]
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     config = TraceConfig(seed=args.seed)
     dataset = synthesize_trace(config)
@@ -75,7 +124,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         else SimulationConfig.default_scale(seed=args.seed)
     )
     seeds = _parse_seeds(args.seeds)
-    specs = sweep_specs(("pavod", "nettube", "socialtube"), config, seeds=seeds)
+    specs = sweep_specs(
+        ("pavod", "nettube", "socialtube"), config, seeds=seeds,
+        shards=args.shards,
+    )
     results = run_sweep(specs, jobs=args.jobs)
     if seeds and len(seeds) > 1:
         aggregates = aggregate_sweep(specs, results)
@@ -100,6 +152,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         ),
         seeds=seeds,
         jobs=args.jobs,
+        shards=args.shards,
     )
     environments = ("peersim",) if args.quick else ("peersim", "planetlab")
     suite.warm(environments=environments)
@@ -175,13 +228,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         write_trace,
     )
 
+    seed = _single_seed(args, "profile")
     config = (
-        SimulationConfig.default_scale(seed=args.seed)
+        SimulationConfig.default_scale(seed=seed)
         if args.full
-        else SimulationConfig.smoke_scale(seed=args.seed)
+        else SimulationConfig.smoke_scale(seed=seed)
     )
     spec = ExperimentSpec(
-        protocol=args.protocol, config=config, environment=args.environment
+        protocol=args.protocol, config=config, environment=args.environment,
+        shards=args.shards,
     )
     profiled = run_profiled(spec, jobs=args.jobs)
     path = os.path.join(args.outdir, trace_filename(spec))
@@ -202,17 +257,21 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         write_dashboard,
     )
 
+    seed = _single_seed(args, "dashboard")
     config = (
-        SimulationConfig.default_scale(seed=args.seed)
+        SimulationConfig.default_scale(seed=seed)
         if args.full
-        else SimulationConfig.smoke_scale(seed=args.seed)
+        else SimulationConfig.smoke_scale(seed=seed)
     )
     protocols = [args.protocol]
     for name in args.compare or ():
         if name not in protocols:
             protocols.append(name)
     specs = [
-        ExperimentSpec(protocol=name, config=config, environment=args.environment)
+        ExperimentSpec(
+            protocol=name, config=config, environment=args.environment,
+            shards=args.shards,
+        )
         for name in protocols
     ]
     runs = collect_dashboard_runs(specs, window_s=args.window, jobs=args.jobs)
@@ -244,13 +303,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.spec import ExperimentSpec
     from repro.faults.plan import FaultPlan
 
+    seed = _single_seed(args, "chaos")
     config = (
-        SimulationConfig.default_scale(seed=args.seed)
+        SimulationConfig.default_scale(seed=seed)
         if args.full
-        else SimulationConfig.smoke_scale(seed=args.seed)
+        else SimulationConfig.smoke_scale(seed=seed)
     )
     spec = ExperimentSpec(
-        protocol=args.protocol, config=config, environment=args.environment
+        protocol=args.protocol, config=config, environment=args.environment,
+        shards=args.shards,
     ).with_faults(FaultPlan.demo())
     task = (spec, args.window)
     if args.jobs > 1:
@@ -274,12 +335,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_regress(args: argparse.Namespace) -> int:
     from repro.obs.baseline import run_regression
 
+    if args.seeds:
+        raise SystemExit(
+            "regress re-runs the committed baseline seeds; --seeds has no "
+            "effect (update the baseline files to change them)"
+        )
     return run_regression(
         baseline_dir=args.baselines,
         jobs=args.jobs,
         strict=args.strict,
         update=args.update,
         quick=args.quick,
+        shards=args.shards,
     )
 
 
@@ -299,33 +366,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=2014, help="master RNG seed")
     sub = parser.add_subparsers(dest="command", required=True)
+    run_flags = _run_flags_parent()
 
     p_trace = sub.add_parser("trace", help="trace synthesis + Section III analysis")
     p_trace.add_argument("--threshold", type=int, default=20)
     p_trace.set_defaults(func=_cmd_trace)
 
-    p_compare = sub.add_parser("compare", help="three-protocol comparison")
+    p_compare = sub.add_parser(
+        "compare", help="three-protocol comparison", parents=[run_flags]
+    )
     p_compare.add_argument("--quick", action="store_true", help="tiny scale")
-    p_compare.add_argument(
-        "--seeds", default=None,
-        help="comma-separated seed list for a multi-seed sweep (e.g. 1,2,3)",
-    )
-    p_compare.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the sweep (1 = serial, the default)",
-    )
     p_compare.set_defaults(func=_cmd_compare)
 
-    p_figures = sub.add_parser("figures", help="regenerate Section V figures")
+    p_figures = sub.add_parser(
+        "figures", help="regenerate Section V figures", parents=[run_flags]
+    )
     p_figures.add_argument("--quick", action="store_true", help="tiny scale")
-    p_figures.add_argument(
-        "--seeds", default=None,
-        help="comma-separated seed list for a multi-seed sweep (e.g. 1,2,3)",
-    )
-    p_figures.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the sweep (1 = serial, the default)",
-    )
     p_figures.set_defaults(func=_cmd_figures)
 
     p_pl = sub.add_parser("planetlab", help="emulated PlanetLab comparison")
@@ -368,15 +424,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_lint.set_defaults(func=_cmd_lint)
 
     p_profile = sub.add_parser(
-        "profile", help="traced run: JSONL trace + profile summary"
+        "profile", help="traced run: JSONL trace + profile summary",
+        parents=[run_flags],
     )
     p_profile.add_argument(
         "protocol", choices=("socialtube", "nettube", "pavod"),
         help="protocol stack to profile",
-    )
-    p_profile.add_argument(
-        "--seed", type=int, default=2014,
-        help="RNG seed (accepted after the subcommand for convenience)",
     )
     p_profile.add_argument(
         "--environment", default="peersim", help="named environment (see config)"
@@ -386,17 +439,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="profile at the paper's full scale (default: smoke scale)",
     )
     p_profile.add_argument(
-        "--jobs", type=int, default=1,
-        help="run via the process-pool path (>1); the trace bytes are "
-        "identical either way -- this exists to prove it",
-    )
-    p_profile.add_argument(
         "--outdir", default="traces_out", help="directory for the JSONL trace"
     )
     p_profile.set_defaults(func=_cmd_profile)
 
     p_dash = sub.add_parser(
-        "dashboard", help="self-contained HTML time-series dashboard"
+        "dashboard", help="self-contained HTML time-series dashboard",
+        parents=[run_flags],
     )
     p_dash.add_argument(
         "protocol", choices=("socialtube", "nettube", "pavod"),
@@ -405,10 +454,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dash.add_argument(
         "--compare", nargs="*", choices=("socialtube", "nettube", "pavod"),
         default=(), help="additional protocols overlaid on every chart",
-    )
-    p_dash.add_argument(
-        "--seed", type=int, default=2014,
-        help="RNG seed (accepted after the subcommand for convenience)",
     )
     p_dash.add_argument(
         "--environment", default="peersim", help="named environment (see config)"
@@ -422,11 +467,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="window width in virtual seconds (default: 600)",
     )
     p_dash.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for data collection; the HTML bytes are "
-        "identical either way -- CI diffs them to prove it",
-    )
-    p_dash.add_argument(
         "--outdir", default="dashboard_out", help="directory for the HTML file"
     )
     p_dash.add_argument(
@@ -435,7 +475,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dash.set_defaults(func=_cmd_dashboard)
 
     p_regress = sub.add_parser(
-        "regress", help="compare fresh runs against committed metric baselines"
+        "regress", help="compare fresh runs against committed metric baselines",
+        parents=[run_flags],
     )
     p_regress.add_argument(
         "--baselines", default="baselines", help="baseline directory"
@@ -451,21 +492,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--update", action="store_true",
         help="rewrite the baseline files from fresh runs",
     )
-    p_regress.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for the reruns"
-    )
     p_regress.set_defaults(func=_cmd_regress)
 
     p_chaos = sub.add_parser(
-        "chaos", help="fault-injected run: crash churn + mid-stream failover"
+        "chaos", help="fault-injected run: crash churn + mid-stream failover",
+        parents=[run_flags],
     )
     p_chaos.add_argument(
         "protocol", choices=("socialtube", "nettube", "pavod"),
         help="protocol stack to run under the demo fault plan",
-    )
-    p_chaos.add_argument(
-        "--seed", type=int, default=2014,
-        help="RNG seed (accepted after the subcommand for convenience)",
     )
     p_chaos.add_argument(
         "--environment", default="peersim", help="named environment (see config)"
@@ -477,11 +512,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chaos.add_argument(
         "--window", type=float, default=600.0,
         help="window width in virtual seconds (default: 600)",
-    )
-    p_chaos.add_argument(
-        "--jobs", type=int, default=1,
-        help="run via the process-pool path (>1); the time-series bytes "
-        "are identical either way -- CI diffs them to prove it",
     )
     p_chaos.add_argument(
         "--outdir", default="chaos_out", help="directory for the series JSON"

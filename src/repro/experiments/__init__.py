@@ -44,7 +44,6 @@ from repro.experiments.registry import (
 from repro.experiments.runner import (
     ExperimentResult,
     ExperimentRunner,
-    run_experiment,
     run_spec,
 )
 from repro.experiments.spec import ExperimentSpec, seed_sweep
@@ -71,7 +70,6 @@ __all__ = [
     "resolve_params",
     "ExperimentResult",
     "ExperimentRunner",
-    "run_experiment",
     "run_spec",
     "ExperimentSpec",
     "seed_sweep",

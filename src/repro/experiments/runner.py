@@ -10,14 +10,18 @@ lifecycle is::
     watch -> prefetch -> sample overhead] x videos_per_session ->
     graceful leave -> Poisson off time -> next session -> ...
 
-Entry points:
+Entry point: :func:`run_spec` -- the canonical call: one frozen
+:class:`ExperimentSpec` in, one :class:`ExperimentResult` out.  This is
+also what sweep workers execute (see :mod:`repro.experiments.parallel`).
 
-* :func:`run_spec` -- the canonical call: one frozen
-  :class:`ExperimentSpec` in, one :class:`ExperimentResult` out.  This
-  is also what sweep workers execute (see
-  :mod:`repro.experiments.parallel`).
-* :func:`run_experiment` -- deprecated positional shim kept for old
-  callers; emits a DeprecationWarning and builds a spec internally.
+``spec.shards > 1`` swaps the event engine for the community-
+partitioned :class:`repro.shard.scheduler.ShardedScheduler`: nodes are
+partitioned by interest community, every event runs on its owning
+shard, cross-shard interactions are logged through the typed mailbox,
+and the lookahead window is bounded by the latency model's minimum
+cross-shard one-way delay.  The determinism gate guarantees the result
+is byte-identical to ``shards=1``; the per-shard attribution rides
+along as ``result.shard_report``.
 
 Delay model (documented in DESIGN.md section 5):
 
@@ -33,17 +37,12 @@ Delay model (documented in DESIGN.md section 5):
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.baselines.protocol import PeerState
-from repro.experiments.config import (
-    Environment,
-    SimulationConfig,
-    environment_by_name,
-)
-from repro.experiments.registry import create_protocol, resolve_params
+from repro.experiments.config import Environment, environment_by_name
+from repro.experiments.registry import create_protocol
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.trace_cache import shared_trace_cache
 from repro.faults.injector import FaultInjector, NULL_INJECTOR
@@ -54,9 +53,12 @@ from repro.net.streaming import simulate_playback, simulate_resume
 from repro.net.server import CentralServer
 from repro.obs.tracer import NULL_TRACER
 from repro.overlay.maintenance import record_link_sample, record_repair_sweep
+from repro.shard.partition import CommunityPartition
+from repro.shard.scheduler import ShardedScheduler, ShardReport
 from repro.sim.churn import ChurnModel, SessionPlan
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
 from repro.trace.dataset import TraceDataset
 from repro.workload.selection import VideoSelector
 from repro.workload.session import SessionTracker
@@ -107,6 +109,11 @@ class ExperimentResult:
     events_processed: int
     sim_duration_s: float
     prefetch_hit_rate: float
+    #: Per-shard attribution when the run was sharded, else None.
+    #: Deliberately NOT rendered by render_rows: those rows are the
+    #: byte-parity surface across shard counts, and this report
+    #: legitimately names the shard count.
+    shard_report: Optional[ShardReport] = None
 
     def render_rows(self):
         rows = list(self.metrics.render_rows())
@@ -136,8 +143,8 @@ class ExperimentRunner:
     ):
         if not isinstance(spec, ExperimentSpec):
             raise TypeError(
-                "ExperimentRunner takes an ExperimentSpec; legacy callers "
-                "should use the run_experiment() shim"
+                "ExperimentRunner takes an ExperimentSpec; build one "
+                "(see ExperimentSpec.with_params/with_seed) and call run_spec"
             )
         self.spec = spec
         config = spec.config
@@ -175,7 +182,24 @@ class ExperimentRunner:
         if config.num_nodes > self.dataset.num_users:
             raise ValueError("config.num_nodes exceeds dataset population")
 
-        self.scheduler = EventScheduler()
+        # The latency model precedes the engine because the sharded
+        # coordinator's lookahead window is bounded by the model's
+        # minimum cross-shard one-way delay (no draws happen at model
+        # construction, so the move is stream-neutral).
+        self.latency = self.environment.latency_factory(self._rng_latency)
+        self._partition: Optional[CommunityPartition] = None
+        self.scheduler: Scheduler
+        if spec.shards > 1:
+            self._partition = CommunityPartition.from_dataset(
+                self.dataset, spec.shards, config.num_nodes
+            )
+            self.scheduler = ShardedScheduler(
+                spec.shards,
+                self._shard_owner,
+                lookahead_s=self.latency.min_one_way_s(),
+            )
+        else:
+            self.scheduler = EventScheduler()
         # One tracer flows through every substrate; it reads the
         # scheduler's virtual clock so traces are a pure function of the
         # spec (byte-identical across serial and parallel execution).
@@ -188,7 +212,6 @@ class ExperimentRunner:
         tick_every = getattr(self.tracer, "tick_every_s", None)
         if tick_every:
             self.scheduler.enable_ticks(tick_every)
-        self.latency = self.environment.latency_factory(self._rng_latency)
         self.server = CentralServer(
             self.dataset,
             capacity_bps=config.effective_server_bandwidth_bps,
@@ -235,6 +258,27 @@ class ExperimentRunner:
             if self.tracer:
                 state.uplink.tracer = self.tracer
             self.protocol.register_peer(state)
+
+    # -- sharding -------------------------------------------------------------
+
+    def _shard_owner(self, fn, args: Tuple) -> Optional[int]:
+        """Owning shard of one scheduled callback (ShardedScheduler hook).
+
+        Runner callbacks are keyed by their first argument: a node id
+        for the per-user lifecycle (requests, finishes, crashes and
+        their repairs -- so crash repair runs on the crashed node's
+        owning shard), or an overlay flood state carrying its
+        ``requester``.  Unkeyed callbacks have no affinity and stay on
+        the shard that scheduled them.
+        """
+        if args:
+            head = args[0]
+            if isinstance(head, int):
+                return self._partition.owner(head)
+            requester = getattr(head, "requester", None)
+            if isinstance(requester, int):
+                return self._partition.owner(requester)
+        return None
 
     # -- delay model ----------------------------------------------------------
 
@@ -770,10 +814,11 @@ class ExperimentRunner:
         watch.transfer_start_t = now
         watch.offset = state.chunks_done
         # completion_s counts from the interruption; `latency` of it has
-        # already elapsed, and the remainder is strictly positive.
-        watch.finish_event = self.scheduler.schedule(
+        # already elapsed, and the remainder is strictly positive.  The
+        # finish event was cancelled at the interruption; one reschedule
+        # revives the same handle with the refreshed grant/span args.
+        watch.finish_event.reschedule(
             resume.completion_s - latency,
-            self._finish_video,
             user_id,
             watch.video_id,
             grant,
@@ -792,6 +837,11 @@ class ExperimentRunner:
                 self.churn.initial_join_delay(), self._start_session, node_id
             )
         self.scheduler.run()
+        report = (
+            self.scheduler.shard_report()
+            if isinstance(self.scheduler, ShardedScheduler)
+            else None
+        )
         return ExperimentResult(
             metrics=self.metrics.summarize(),
             server_requests=self.server.requests_served,
@@ -802,6 +852,7 @@ class ExperimentRunner:
                 self.metrics.prefetch_hits
                 / max(1, self.metrics.prefetch_hits + self.metrics.prefetch_misses)
             ),
+            shard_report=report,
         )
 
 
@@ -821,32 +872,3 @@ def run_spec(
     return ExperimentRunner(
         spec, dataset=dataset, environment=environment, tracer=tracer
     ).run()
-
-
-def run_experiment(
-    protocol_name: str,
-    config: Optional[SimulationConfig] = None,
-    environment: Optional[Environment] = None,
-    dataset: Optional[TraceDataset] = None,
-    **protocol_overrides,
-) -> ExperimentResult:
-    """Deprecated one-call convenience; builds an ExperimentSpec.
-
-    Kept as a thin shim for pre-registry callers.  New code should
-    construct an :class:`ExperimentSpec` (optionally via
-    ``spec.with_params``/``spec.with_seed``) and call :func:`run_spec`.
-    """
-    warnings.warn(
-        "run_experiment(name, config=...) is deprecated; build an "
-        "ExperimentSpec and call run_spec(spec) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    cfg = config or SimulationConfig.default_scale()
-    spec = ExperimentSpec(
-        protocol=protocol_name,
-        config=cfg,
-        environment=environment.name if environment is not None else "peersim",
-        params=resolve_params(protocol_name, cfg, protocol_overrides or None),
-    )
-    return run_spec(spec, dataset=dataset, environment=environment)

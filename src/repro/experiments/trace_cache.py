@@ -3,7 +3,7 @@
 Trace synthesis is the single most expensive non-simulation step of the
 harness, and it is pure: a :class:`TraceConfig` fully determines the
 resulting :class:`TraceDataset`.  Before this cache, every
-``run_experiment`` call, every ablation sweep, and every
+``run_spec`` call, every ablation sweep, and every
 ``EvaluationSuite`` instance re-synthesized identical corpora from
 scratch.  Now any identical recipe -- compared by the canonical content
 digest of the config, not object identity -- synthesizes exactly once

@@ -20,7 +20,8 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.structure import HierarchicalStructure
     from repro.overlay.links import LinkTable
-    from repro.sim.engine import Event, EventScheduler
+    from repro.sim.engine import Event
+    from repro.sim.scheduler import Scheduler
 
 
 class OverlayInvariantError(AssertionError):
@@ -172,7 +173,7 @@ class InvariantHook:
 
 
 def install_invariant_hook(
-    scheduler: "EventScheduler",
+    scheduler: "Scheduler",
     structure: "HierarchicalStructure",
     period_s: float = 600.0,
     on_violation: Optional[Callable[[List[InvariantViolation]], None]] = None,
@@ -200,7 +201,9 @@ def install_invariant_hook(
                 on_violation(violations)
             else:
                 raise OverlayInvariantError(violations)
-        hook._event = scheduler.schedule(period_s, _check)
+        # One handle for the hook's whole life: re-arm the fired event
+        # instead of scheduling a fresh one each period.
+        hook._event.reschedule(period_s)
 
     hook._event = scheduler.schedule(period_s, _check)
     return hook

@@ -37,6 +37,20 @@ class LatencyModel(ABC):
         """Round-trip latency (two independent one-way samples)."""
         return self.sample(src, dst) + self.sample(dst, src)
 
+    def min_one_way_s(self) -> float:
+        """A sound lower bound on any distinct-pair one-way sample.
+
+        This is the conservative *lookahead* of the sharded coordinator
+        (:mod:`repro.shard`): no interaction between nodes on different
+        shards can take effect sooner than this bound, so shards may
+        advance that far between mailbox barriers.  The default is 0.0
+        -- always sound, degenerating to fully serialized windows.
+        Models whose distributions have a positive infimum override it
+        (lognormal jitter is unbounded below, so the planar and WAN
+        models cannot).
+        """
+        return 0.0
+
 
 class UniformLatencyModel(LatencyModel):
     """Latency uniform in ``[low, high]``; handy for unit tests."""
@@ -52,6 +66,9 @@ class UniformLatencyModel(LatencyModel):
         if src == dst:
             return 0.0
         return self._rng.uniform(self.low, self.high)
+
+    def min_one_way_s(self) -> float:
+        return self.low
 
 
 class PlanarLatencyModel(LatencyModel):

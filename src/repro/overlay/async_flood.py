@@ -22,7 +22,7 @@ from typing import Callable, Dict, Iterable, Optional
 
 from repro.net.latency import LatencyModel
 from repro.overlay.flood import FloodResult
-from repro.sim.engine import EventScheduler
+from repro.sim.scheduler import Scheduler
 
 
 @dataclass
@@ -50,7 +50,7 @@ class AsyncFloodSearch:
 
     def __init__(
         self,
-        scheduler: EventScheduler,
+        scheduler: Scheduler,
         latency: LatencyModel,
         neighbors_of: Callable[[int], Iterable[int]],
         is_holder: Callable[[int], bool],

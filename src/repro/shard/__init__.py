@@ -1,0 +1,42 @@
+# shard: module=shard-local -- re-exports only; no state of its own
+"""Community-partitioned sharded simulation.
+
+The paper's per-community hierarchy (Sections O1-O5) makes interest
+clusters the natural partition key for parallel discrete-event
+simulation: most traffic is intra-community, so cross-shard
+interactions are rare and conservative synchronization is cheap (the
+same observation CliqueStream exploits for clustered overlays).
+
+The package has four parts:
+
+* :mod:`repro.shard.partition` -- the deterministic interest-community
+  partitioner mapping nodes to shards;
+* :mod:`repro.shard.mailbox` -- typed inter-shard messages with the
+  canonical ``(fire_time, origin_shard, seq)`` ordering key;
+* :mod:`repro.shard.scheduler` -- :class:`ShardedScheduler`, the
+  *exact-mode* coordinator implementing the
+  :class:`repro.sim.scheduler.Scheduler` protocol: every event is
+  tagged with its owning shard, cross-shard sends are logged through
+  the mailbox, and execution preserves the global total order so
+  ``shards=N`` is byte-identical to ``shards=1``;
+* :mod:`repro.shard.lanes` -- :class:`LaneEngine`, the *throughput
+  mode*: per-shard event lanes advance independently inside
+  conservative lookahead windows bounded by the minimum cross-shard
+  latency, exchanging mailbox batches at window barriers.
+"""
+
+from repro.shard.lanes import LaneEngine
+from repro.shard.mailbox import Mailbox, ShardMessage, ShardViolation
+from repro.shard.partition import CommunityPartition, primary_interest
+from repro.shard.scheduler import ShardedScheduler, ShardReport
+
+__all__ = [
+    "CommunityPartition",
+    "LaneEngine",
+    "Mailbox",
+    "ShardMessage",
+    "ShardReport",
+    "ShardViolation",
+    "ShardedScheduler",
+    "primary_interest",
+]

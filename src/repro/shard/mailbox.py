@@ -1,0 +1,150 @@
+# shard: module=shard-local -- one mailbox per run, owned by its coordinator
+"""The typed inter-shard mailbox.
+
+Cross-shard interactions -- inter-cluster link searches, tracker
+lookups, server traffic, crash-repair routed to the owning shard --
+are not direct Python callbacks across the partition; they are
+:class:`ShardMessage` records funneled through one :class:`Mailbox`.
+Two properties make the mailbox the determinism backbone of
+:mod:`repro.shard`:
+
+* **Canonical order.**  Every delivery batch is sorted by the key
+  ``(fire_time, origin_shard, seq)`` where ``seq`` is the per-origin
+  send counter.  The key is a pure function of simulation state, never
+  of wall-clock arrival, so any interleaving of shard progress yields
+  the same delivery order.
+* **Lookahead accounting.**  A conservative sender may not post a
+  message that fires inside its own current window (before
+  ``window_end``): such a send is a *lookahead violation*, counted
+  always and fatal under ``strict=True``.  The exact-mode coordinator
+  runs lax (violations are impossible there by construction, the
+  counter is a cross-check); the windowed lane engine runs strict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ShardViolation(RuntimeError):
+    """A cross-shard message fired inside the sender's lookahead window."""
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One typed cross-shard interaction record."""
+
+    fire_time: float
+    origin_shard: int
+    dest_shard: int
+    #: Per-origin-shard send sequence number (third ordering component).
+    seq: int
+    #: Interaction type, e.g. ``"_finish_video"`` or ``"repair"``.
+    kind: str
+    payload: Tuple[Any, ...] = ()
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.fire_time, self.origin_shard, self.seq)
+
+
+def canonical_order(messages: List[ShardMessage]) -> List[ShardMessage]:
+    """Sort a batch by the canonical ``(fire_time, origin_shard, seq)`` key."""
+    return sorted(messages, key=lambda m: (m.fire_time, m.origin_shard, m.seq))
+
+
+class Mailbox:
+    """Collects cross-shard sends; drains them in canonical order.
+
+    Deferred sends (the windowed lane engine) buffer until the next
+    barrier calls :meth:`deliver_all`; eager sends (the exact-mode
+    coordinator, which keeps the global event order itself) are counted
+    as delivered immediately and never buffer.
+    """
+
+    def __init__(self, num_shards: int, *, strict: bool = False):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.strict = strict
+        self._next_seq = [0] * num_shards
+        self._pending: List[ShardMessage] = []
+        self.sent = 0
+        self.delivered = 0
+        self.violations = 0
+        #: (origin, dest) -> message count, for the shard report.
+        self.by_pair: Dict[Tuple[int, int], int] = {}
+
+    def send(
+        self,
+        origin: int,
+        dest: int,
+        fire_time: float,
+        kind: str,
+        payload: Tuple[Any, ...] = (),
+        *,
+        window_end: Optional[float] = None,
+        defer: bool = True,
+    ) -> ShardMessage:
+        """Record one cross-shard interaction.
+
+        ``window_end`` is the end of the sender's current lookahead
+        window; a ``fire_time`` before it violates the conservative
+        synchronization contract.  ``defer=False`` marks the message
+        delivered immediately (exact mode).
+        """
+        seq = self._next_seq[origin]
+        self._next_seq[origin] = seq + 1
+        message = ShardMessage(
+            fire_time=float(fire_time),
+            origin_shard=origin,
+            dest_shard=dest,
+            seq=seq,
+            kind=kind,
+            payload=tuple(payload),
+        )
+        if window_end is not None and message.fire_time < window_end:
+            self.violations += 1
+            if self.strict:
+                raise ShardViolation(
+                    f"{kind!r} from shard {origin} to {dest} fires at "
+                    f"t={message.fire_time:.6f}, inside the sender's window "
+                    f"(ends t={window_end:.6f}); the lookahead bound is broken"
+                )
+        self.sent += 1
+        pair = (origin, dest)
+        self.by_pair[pair] = self.by_pair.get(pair, 0) + 1
+        if defer:
+            self._pending.append(message)
+        else:
+            self.delivered += 1
+        return message
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def deliver_all(self) -> List[ShardMessage]:
+        """Drain every buffered message, sorted canonically (a barrier)."""
+        batch = canonical_order(self._pending)
+        self._pending.clear()
+        self.delivered += len(batch)
+        return batch
+
+    def summary(self) -> Dict[str, Any]:
+        """Counters for the shard report; plain types, pickle-safe."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "violations": self.violations,
+            "by_pair": sorted(
+                (origin, dest, count)
+                for (origin, dest), count in self.by_pair.items()
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Mailbox(shards={self.num_shards}, sent={self.sent}, "
+            f"pending={len(self._pending)}, violations={self.violations})"
+        )

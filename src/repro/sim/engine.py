@@ -2,8 +2,9 @@
 """Event-driven simulation kernel.
 
 The engine is a classic calendar-queue simulator: a binary heap of
-``(fire_time, sequence_number, Event)`` triples and a virtual clock that
-jumps from event to event.  Determinism matters for a reproduction, so
+``(fire_time, sequence_number, Event, generation)`` entries and a
+virtual clock that jumps from event to event.  Determinism matters for
+a reproduction, so
 
 * ties in fire time are broken by a monotonically increasing sequence
   number (FIFO among simultaneous events), and
@@ -13,10 +14,14 @@ jumps from event to event.  Determinism matters for a reproduction, so
 Cancellation is O(1): events carry a ``cancelled`` flag and are skipped
 lazily when popped, which is the standard approach for simulators with
 many speculative timers (e.g. neighbor probes that are rescheduled).
-To keep lazy cancellation honest under heavy rescheduling the heap is
-*compacted* -- rebuilt without cancelled entries -- whenever cancelled
-events outnumber live ones, so memory stays proportional to the number
-of pending events rather than the number ever cancelled.  Compaction
+Rescheduling is the same trick one level up: each heap entry is stamped
+with the event's *generation* at push time, and :meth:`Event.reschedule`
+bumps the generation, so the stale entry dies in place and exactly one
+new entry is pushed -- no paired cancel-then-schedule, no second handle
+object.  To keep lazy deletion honest under heavy rescheduling the heap
+is *compacted* -- rebuilt without dead entries -- whenever dead entries
+outnumber live ones, so memory stays proportional to the number of
+pending events rather than the number ever cancelled.  Compaction
 preserves each entry's ``(fire_time, sequence)`` key, so FIFO ordering
 among simultaneous events is unaffected.
 """
@@ -41,10 +46,11 @@ class Event:
     """A scheduled callback.
 
     Instances are returned by :meth:`EventScheduler.schedule` and can be
-    cancelled before they fire.  An event fires at most once.
+    cancelled or rescheduled before they fire.  An event fires at most
+    once per arming; :meth:`reschedule` re-arms it.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "fired", "_scheduler")
+    __slots__ = ("time", "fn", "args", "cancelled", "fired", "_generation", "_scheduler")
 
     def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
         self.time = time
@@ -52,17 +58,45 @@ class Event:
         self.args = args
         self.cancelled = False
         self.fired = False
-        #: Set by the scheduler that owns the event so ``cancel`` can
-        #: update its live pending/cancelled accounting.
-        self._scheduler: Optional["EventScheduler"] = None
+        #: Bumped by :meth:`reschedule`; heap entries stamped with an
+        #: older generation are dead and skipped when popped.
+        self._generation = 0
+        #: Set by the scheduler that owns the event so ``cancel`` /
+        #: ``reschedule`` can update its live pending/cancelled
+        #: accounting.  Duck-typed: any object with ``_note_cancelled``
+        #: and ``_reschedule_event`` (the sharded coordinator wraps an
+        #: inner engine and interposes here for mailbox routing).
+        self._scheduler: Optional[Any] = None
 
-    def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent; safe after firing."""
+    def cancel(self) -> bool:
+        """Prevent the event from firing.
+
+        Returns True when this call actually cancelled a pending event,
+        False when there was nothing to cancel (already cancelled or
+        already fired).  Idempotent; safe after firing.
+        """
         if self.cancelled or self.fired:
-            return
+            return False
         self.cancelled = True
         if self._scheduler is not None:
             self._scheduler._note_cancelled()
+        return True
+
+    def reschedule(self, delay: float, *args: Any) -> "Event":
+        """Re-arm this event ``delay`` seconds from now; returns ``self``.
+
+        One call replaces the cancel-then-schedule pattern: the old heap
+        entry is invalidated in place (generation bump) and exactly one
+        new entry is pushed, so the caller keeps a single live handle.
+        Works from any state -- a *pending* event is moved, a
+        *cancelled* event is revived, a *fired* event is re-armed (the
+        periodic-timer pattern).  Positional ``args``, when given,
+        replace the callback arguments.
+        """
+        if self._scheduler is None:
+            raise SimulationError("cannot reschedule an unscheduled event")
+        self._scheduler._reschedule_event(self, delay, args if args else None)
+        return self
 
     @property
     def pending(self) -> bool:
@@ -86,21 +120,25 @@ class EventScheduler:
 
     Time is a float in *seconds* of virtual time.  The engine makes no
     assumption about wall-clock pacing; a 30-day simulation is just a
-    large horizon.
+    large horizon.  This class is the reference implementation of the
+    :class:`repro.sim.scheduler.Scheduler` protocol; the sharded
+    coordinator (:mod:`repro.shard.scheduler`) implements the same
+    protocol around one of these.
     """
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, Event, int]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self.events_processed = 0
         #: Live count of not-yet-cancelled, not-yet-fired events.
         self._pending = 0
-        #: Cancelled events still occupying heap slots (lazy removal).
+        #: Dead events still occupying heap slots (lazy removal):
+        #: cancelled entries plus entries orphaned by a reschedule.
         self._cancelled_in_heap = 0
-        #: Number of times the heap was rebuilt to shed cancelled entries.
+        #: Number of times the heap was rebuilt to shed dead entries.
         self.compactions = 0
         #: Observability sink (set by the experiment runner).  Defaults
         #: to the falsy NULL_TRACER so the hot path pays one truthiness
@@ -137,27 +175,57 @@ class EventScheduler:
         event = Event(float(time), fn, args)
         event._scheduler = self
         self._seq += 1
-        heapq.heappush(self._heap, (event.time, self._seq, event))
+        heapq.heappush(self._heap, (event.time, self._seq, event, 0))
         self._pending += 1
         return event
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`Event.cancel`; keeps counters live and
-        compacts the heap once cancelled entries outnumber pending ones."""
+        compacts the heap once dead entries outnumber pending ones."""
         self._pending -= 1
         self._cancelled_in_heap += 1
         if self._cancelled_in_heap * 2 > len(self._heap):
             self._compact()
 
+    def _reschedule_event(
+        self, event: Event, delay: float, args: Optional[Tuple[Any, ...]]
+    ) -> None:
+        """Back end of :meth:`Event.reschedule` (see there for semantics)."""
+        if delay < 0:
+            raise SimulationError(f"cannot reschedule {delay!r} seconds in the past")
+        was_pending = event.pending
+        event.cancelled = False
+        event.fired = False
+        event.time = self._now + delay
+        if args is not None:
+            event.args = args
+        event._generation += 1
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, self._seq, event, event._generation))
+        if was_pending:
+            # The superseded entry is dead weight exactly like a
+            # cancelled one; the event itself stays pending (net 0).
+            self._cancelled_in_heap += 1
+            if self._cancelled_in_heap * 2 > len(self._heap):
+                self._compact()
+        else:
+            # Revived (cancelled) or re-armed (fired): one new live
+            # entry; any old entry was already accounted dead.
+            self._pending += 1
+
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries.
+        """Rebuild the heap without dead entries.
 
         Entries keep their original ``(fire_time, sequence)`` keys, so
         relative ordering -- including FIFO among ties -- is preserved.
         O(pending), amortised O(1) per cancellation since compaction
         only triggers when at least half the heap is dead weight.
         """
-        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        self._heap = [
+            entry
+            for entry in self._heap
+            if not entry[2].cancelled and entry[3] == entry[2]._generation
+        ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self.compactions += 1
@@ -193,8 +261,8 @@ class EventScheduler:
     def peek_time(self) -> Optional[float]:
         """Fire time of the next pending event, or None if the heap is empty."""
         while self._heap:
-            time, _seq, event = self._heap[0]
-            if event.cancelled:
+            time, _seq, event, generation = self._heap[0]
+            if event.cancelled or generation != event._generation:
                 heapq.heappop(self._heap)
                 self._cancelled_in_heap -= 1
                 continue
@@ -205,14 +273,25 @@ class EventScheduler:
         """Number of not-yet-cancelled events still in the heap.  O(1)."""
         return self._pending
 
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` without firing anything.
+
+        Used by run loops (here and in the sharded coordinator) to park
+        the clock at the horizon after the heap drains, so periodic
+        re-scheduling relative to ``now`` stays consistent across
+        successive calls.  Never moves the clock backwards.
+        """
+        if time > self._now:
+            self._now = float(time)
+
     def step(self) -> bool:
         """Fire the single next pending event.
 
         Returns False when no pending event remains.
         """
         while self._heap:
-            _time, _seq, event = heapq.heappop(self._heap)
-            if event.cancelled:
+            _time, _seq, event, generation = heapq.heappop(self._heap)
+            if event.cancelled or generation != event._generation:
                 self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
@@ -254,7 +333,7 @@ class EventScheduler:
         finally:
             self._running = False
         if not self._stopped:
-            self._now = max(self._now, horizon)
+            self.advance_to(horizon)
         self.tracer.end(span, events=self.events_processed)
 
     def run(self) -> None:

@@ -70,3 +70,39 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Fig 17a" in out
         assert "Multi-seed aggregate" in out
+
+    def test_shards_flag_output_matches_unsharded(self, capsys):
+        main(["compare", "--quick"])
+        unsharded = capsys.readouterr().out
+        main(["compare", "--quick", "--shards", "4"])
+        sharded = capsys.readouterr().out
+        assert unsharded == sharded
+
+    def test_seed_accepted_after_subcommand(self, capsys):
+        # The shared parent parses --seed in subcommand position without
+        # clobbering the top-level default when absent.
+        main(["--seed", "7", "compare", "--quick"])
+        top_level = capsys.readouterr().out
+        main(["compare", "--quick", "--seed", "7"])
+        subcommand = capsys.readouterr().out
+        assert top_level == subcommand
+
+    def test_run_flags_shared_across_subcommands(self):
+        # Every run-executing subcommand exposes the same flag spellings.
+        import argparse
+
+        from repro.cli import _run_flags_parent
+
+        parent = _run_flags_parent()
+        args = parent.parse_args(["--seeds", "1,2", "--jobs", "2", "--shards", "4"])
+        assert (args.seeds, args.jobs, args.shards) == ("1,2", 2, 4)
+        assert not hasattr(args, "seed")  # SUPPRESS: absent unless given
+        assert parent.parse_args(["--seed", "9"]).seed == 9
+
+    def test_regress_rejects_seed_sweeps(self):
+        with pytest.raises(SystemExit):
+            main(["regress", "--seeds", "1,2"])
+
+    def test_single_run_commands_reject_multi_seed(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "socialtube", "--seeds", "1,2"])

@@ -1,12 +1,10 @@
 """Unit tests for the experiment runner."""
 
-import warnings
-
 import pytest
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.registry import protocol_names, resolve_params
-from repro.experiments.runner import ExperimentRunner, run_experiment, run_spec
+from repro.experiments.runner import ExperimentRunner, run_spec
 from repro.experiments.spec import ExperimentSpec
 from repro.trace.synthesizer import TraceConfig, TraceSynthesizer
 
@@ -28,13 +26,6 @@ def micro_spec(protocol="socialtube", **overrides):
         config=MICRO,
         params=resolve_params(protocol, MICRO, overrides or None),
     )
-
-
-def run_quiet(name, **overrides):
-    """run_experiment with the deprecation warning silenced."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return run_experiment(name, config=MICRO, **overrides)
 
 
 class TestConstruction:
@@ -60,18 +51,17 @@ class TestConstruction:
         runner = ExperimentRunner(micro_spec(enable_prefetch=False))
         assert runner.protocol.enable_prefetch is False
 
-    def test_shim_warns_but_matches_spec_path(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_experiment("socialtube", config=MICRO)
-        modern = run_spec(micro_spec())
-        assert legacy.metrics == modern.metrics
-        assert legacy.events_processed == modern.events_processed
+    def test_run_experiment_shim_removed(self):
+        import repro.experiments as experiments
+
+        assert not hasattr(experiments, "run_experiment")
+        assert "run_experiment" not in experiments.__all__
 
 
 class TestRun:
     @pytest.mark.parametrize("name", ["socialtube", "nettube", "pavod"])
     def test_completes_all_sessions(self, name):
-        result = run_quiet(name)
+        result = run_spec(micro_spec(name))
         expected = MICRO.num_nodes * MICRO.sessions_per_user * MICRO.videos_per_session
         assert result.metrics.num_requests == expected
 
@@ -122,3 +112,7 @@ class TestRun:
         text = "\n".join(result.render_rows())
         assert "SocialTube" in text
         assert "server" in text
+
+    def test_unsharded_result_has_no_shard_report(self):
+        result = run_spec(micro_spec())
+        assert result.shard_report is None

@@ -15,7 +15,6 @@ from repro.experiments.registry import (
     resolve_params,
     unregister_protocol,
 )
-from repro.experiments.runner import run_experiment
 from repro.experiments.spec import ExperimentSpec, seed_sweep
 from repro.experiments.trace_cache import TraceCache
 from repro.trace.synthesizer import TraceConfig
@@ -143,6 +142,20 @@ class TestExperimentSpec:
         spec = ExperimentSpec(protocol="socialtube", config=MICRO)
         assert spec.label() == "socialtube/peersim/seed=10"
 
+    def test_shards_are_hash_neutral(self):
+        # Sharding is an execution detail under the determinism gate:
+        # any shard count reproduces the same bytes, so it must never
+        # perturb content hashes (baselines, result-cache keys).
+        spec = ExperimentSpec(protocol="socialtube", config=MICRO)
+        sharded = spec.with_shards(4)
+        assert sharded.shards == 4
+        assert sharded.content_hash() == spec.content_hash()
+        assert sharded != spec  # equality still sees the field
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(protocol="socialtube", config=MICRO, shards=0)
+
 
 class TestTraceCache:
     def test_identical_recipes_synthesize_once(self):
@@ -165,9 +178,3 @@ class TestTraceCache:
         blob = cache.serialized(MICRO.trace)
         dataset = pickle.loads(blob)
         assert len(dataset.users) == MICRO.trace.num_users
-
-
-class TestShim:
-    def test_run_experiment_warns_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
-            run_experiment("socialtube", config=MICRO)

@@ -1,0 +1,91 @@
+"""Unit tests for the typed inter-shard mailbox."""
+
+import pytest
+
+from repro.shard.mailbox import (
+    Mailbox,
+    ShardMessage,
+    ShardViolation,
+    canonical_order,
+)
+
+
+class TestCanonicalOrder:
+    def test_sorts_by_fire_time_then_origin_then_seq(self):
+        messages = [
+            ShardMessage(2.0, 1, 0, 0, "b"),
+            ShardMessage(1.0, 2, 0, 5, "a"),
+            ShardMessage(1.0, 0, 1, 9, "c"),
+            ShardMessage(1.0, 0, 1, 3, "d"),
+        ]
+        ordered = canonical_order(messages)
+        assert [m.kind for m in ordered] == ["d", "c", "a", "b"]
+        assert [m.sort_key for m in ordered] == sorted(m.sort_key for m in messages)
+
+    def test_order_ignores_insertion_interleaving(self):
+        # Any interleaving of shard progress yields the same batch.
+        mailbox_a = Mailbox(2)
+        mailbox_a.send(0, 1, 5.0, "x")
+        mailbox_a.send(1, 0, 3.0, "y")
+        mailbox_b = Mailbox(2)
+        mailbox_b.send(1, 0, 3.0, "y")
+        mailbox_b.send(0, 1, 5.0, "x")
+        assert mailbox_a.deliver_all() == mailbox_b.deliver_all()
+
+
+class TestMailbox:
+    def test_seq_counts_per_origin(self):
+        mailbox = Mailbox(3)
+        first = mailbox.send(0, 1, 1.0, "a")
+        second = mailbox.send(2, 1, 1.0, "b")
+        third = mailbox.send(0, 2, 2.0, "c")
+        assert (first.seq, second.seq, third.seq) == (0, 0, 1)
+
+    def test_deliver_all_drains_sorted(self):
+        mailbox = Mailbox(2)
+        mailbox.send(1, 0, 9.0, "late")
+        mailbox.send(0, 1, 4.0, "early")
+        batch = mailbox.deliver_all()
+        assert [m.kind for m in batch] == ["early", "late"]
+        assert mailbox.pending_count() == 0
+        assert mailbox.delivered == 2
+
+    def test_eager_send_never_buffers(self):
+        mailbox = Mailbox(2)
+        mailbox.send(0, 1, 1.0, "now", defer=False)
+        assert mailbox.pending_count() == 0
+        assert mailbox.delivered == 1
+        assert mailbox.deliver_all() == []
+
+    def test_violation_counted_when_lax(self):
+        mailbox = Mailbox(2, strict=False)
+        mailbox.send(0, 1, 3.0, "inside", window_end=5.0)
+        assert mailbox.violations == 1
+        assert mailbox.sent == 1  # still recorded
+
+    def test_violation_raises_when_strict(self):
+        mailbox = Mailbox(2, strict=True)
+        with pytest.raises(ShardViolation):
+            mailbox.send(0, 1, 3.0, "inside", window_end=5.0)
+        assert mailbox.violations == 1
+
+    def test_fire_at_window_end_is_legal(self):
+        mailbox = Mailbox(2, strict=True)
+        mailbox.send(0, 1, 5.0, "boundary", window_end=5.0)
+        assert mailbox.violations == 0
+
+    def test_summary_counters(self):
+        mailbox = Mailbox(3)
+        mailbox.send(0, 1, 1.0, "a")
+        mailbox.send(0, 1, 2.0, "b")
+        mailbox.send(2, 0, 3.0, "c")
+        mailbox.deliver_all()
+        summary = mailbox.summary()
+        assert summary["sent"] == 3
+        assert summary["delivered"] == 3
+        assert summary["violations"] == 0
+        assert summary["by_pair"] == [(0, 1, 2), (2, 0, 1)]
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            Mailbox(0)

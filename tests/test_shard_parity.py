@@ -1,0 +1,172 @@
+"""The shard determinism gate: ``shards=1`` byte-identical to ``shards=N``.
+
+This is the sharded counterpart of PR 2's jobs-parity tests: the shard
+count is an execution detail, never an identity, so metrics rows, trace
+bytes and time-series digests must not move when it changes.  The edge
+cases of the sharding design ride along -- a single-shard coordinator
+equals the legacy engine, zero lookahead serializes without deadlock,
+and crash/repair plans survive window barriers unchanged.
+"""
+
+import pytest
+
+from repro.experiments.config import (
+    ENVIRONMENT_FACTORIES,
+    Environment,
+    SimulationConfig,
+)
+from repro.experiments.registry import resolve_params
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ExperimentSpec
+from repro.faults.plan import FaultPlan
+from repro.net.latency import UniformLatencyModel
+from repro.obs.timeseries import run_with_timeseries
+from repro.shard.scheduler import ShardedScheduler
+from repro.sim.engine import EventScheduler
+from repro.trace.synthesizer import TraceConfig
+
+MICRO = SimulationConfig(
+    num_nodes=40,
+    trace=TraceConfig(num_users=40, num_channels=10, num_videos=200,
+                      num_categories=4, seed=10),
+    sessions_per_user=2,
+    videos_per_session=4,
+    mean_off_time_s=60.0,
+    seed=10,
+)
+
+
+def micro_spec(protocol, shards=1, environment="peersim"):
+    return ExperimentSpec(
+        protocol=protocol,
+        config=MICRO,
+        environment=environment,
+        params=resolve_params(protocol, MICRO),
+        shards=shards,
+    )
+
+
+@pytest.fixture()
+def uniform_lan():
+    """A registered environment whose min cross-shard latency is positive.
+
+    peersim/planetlab use lognormal jitter (unbounded below), so their
+    conservative lookahead is 0 and sharded runs serialize.  This
+    environment gives the windowed path real lookahead windows.
+    """
+    name = "uniform-lan-test"
+    ENVIRONMENT_FACTORIES[name] = lambda: Environment(
+        name=name,
+        latency_factory=lambda rng: UniformLatencyModel(rng, low=0.02, high=0.08),
+    )
+    try:
+        yield name
+    finally:
+        ENVIRONMENT_FACTORIES.pop(name, None)
+
+
+class TestByteParity:
+    @pytest.mark.parametrize("protocol", ["socialtube", "nettube", "pavod"])
+    def test_metrics_rows_identical_across_shard_counts(self, protocol):
+        base = run_spec(micro_spec(protocol, shards=1))
+        sharded = run_spec(micro_spec(protocol, shards=4))
+        assert base.render_rows() == sharded.render_rows()
+        assert base.events_processed == sharded.events_processed
+        assert base.server_requests == sharded.server_requests
+
+    def test_timeseries_digest_identical_across_shard_counts(self):
+        runs = [
+            run_with_timeseries(micro_spec("socialtube", shards=shards))
+            for shards in (1, 4)
+        ]
+        assert runs[0].table.digest() == runs[1].table.digest()
+        assert runs[0].jsonl == runs[1].jsonl  # whole trace, byte-for-byte
+
+    def test_shard_report_attribution(self):
+        result = run_spec(micro_spec("socialtube", shards=4))
+        report = result.shard_report
+        assert report is not None
+        assert report.num_shards == 4
+        assert sum(report.events_by_shard) == result.events_processed
+        assert report.lookahead_violations == 0
+        # The report is attribution, not identity: it never leaks into
+        # the parity surface.
+        assert "shards" not in "\n".join(result.render_rows())
+
+
+class TestSingleShardEqualsLegacyEngine:
+    def _workload(self, sched):
+        order = []
+
+        def ping(i):
+            order.append((sched.now, "ping", i))
+            if i < 5:
+                sched.schedule(1.5, ping, i + 1)
+
+        def cancel_target():  # pragma: no cover - must never fire
+            order.append((sched.now, "cancelled", -1))
+
+        sched.schedule(1.0, ping, 0)
+        doomed = sched.schedule(2.0, cancel_target)
+        doomed.cancel()
+        timer = sched.schedule(3.0, order.append, (3.0, "timer", 0))
+        timer.reschedule(7.0)
+        sched.run_until(60.0)
+        return order, sched.now, sched.events_processed
+
+    def test_event_order_clock_and_counters_match(self):
+        legacy = self._workload(EventScheduler())
+        sharded = self._workload(
+            ShardedScheduler(1, lambda fn, args: 0, lookahead_s=0.0)
+        )
+        assert legacy == sharded
+
+
+class TestZeroLookaheadSerializes:
+    def test_peersim_lookahead_is_zero_and_run_completes(self):
+        # Planar latency has unbounded-below jitter, so the conservative
+        # lookahead is 0: every event time is its own barrier.  The run
+        # must still complete (no deadlock) with full parity.
+        result = run_spec(micro_spec("socialtube", shards=4))
+        report = result.shard_report
+        assert report.lookahead_s == 0.0
+        assert report.windows > 0
+        expected = MICRO.num_nodes * MICRO.sessions_per_user * MICRO.videos_per_session
+        assert result.metrics.num_requests == expected
+
+
+class TestPositiveLookaheadWindows:
+    def test_uniform_latency_yields_real_windows(self, uniform_lan):
+        result = run_spec(micro_spec("socialtube", shards=4, environment=uniform_lan))
+        report = result.shard_report
+        assert report.lookahead_s == pytest.approx(0.02)
+        # One barrier per crossed window; lifecycle events are minutes
+        # apart, so the count never exceeds the event count.
+        assert 0 < report.windows <= result.events_processed
+        assert report.lookahead_violations == 0
+
+    def test_parity_holds_under_windowed_sync(self, uniform_lan):
+        base = run_spec(micro_spec("nettube", shards=1, environment=uniform_lan))
+        sharded = run_spec(micro_spec("nettube", shards=4, environment=uniform_lan))
+        assert base.render_rows() == sharded.render_rows()
+
+
+class TestCrashRepairAcrossBarriers:
+    def test_faulted_run_is_byte_identical_across_shard_counts(self, uniform_lan):
+        # Crash/repair pairs are minutes apart while lookahead windows
+        # are 20 ms wide, so every repair straddles thousands of window
+        # barriers; routing them through the owning shard must not move
+        # a single byte.
+        runs = []
+        for shards in (1, 4):
+            spec = micro_spec(
+                "socialtube", shards=shards, environment=uniform_lan
+            ).with_faults(FaultPlan.demo())
+            runs.append(run_with_timeseries(spec))
+        base, sharded = runs
+        assert base.result.render_rows() == sharded.result.render_rows()
+        assert base.table.digest() == sharded.table.digest()
+        assert base.result.metrics.crashes > 0  # the plan actually fired
+        report = sharded.result.shard_report
+        assert report.windows > 1  # repairs crossed real barriers
+        assert report.lookahead_violations == 0

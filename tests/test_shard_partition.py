@@ -1,0 +1,94 @@
+"""Unit tests for the deterministic interest-community partitioner."""
+
+import pytest
+
+from repro.shard.partition import (
+    UNAFFILIATED,
+    CommunityPartition,
+    primary_interest,
+)
+from repro.trace.synthesizer import TraceConfig, synthesize_trace
+
+NUM_NODES = 60
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthesize_trace(
+        TraceConfig(
+            num_users=NUM_NODES, num_channels=12, num_videos=300,
+            num_categories=4, seed=7,
+        )
+    )
+
+
+class TestPrimaryInterest:
+    def test_deterministic(self, dataset):
+        for user_id in range(NUM_NODES):
+            assert primary_interest(dataset, user_id) == primary_interest(
+                dataset, user_id
+            )
+
+    def test_subscribed_users_land_in_a_real_category(self, dataset):
+        categories = {
+            dataset.category_of_channel(c)
+            for u in range(NUM_NODES)
+            for c in dataset.subscriptions_of_user(u)
+        }
+        for user_id in range(NUM_NODES):
+            if dataset.subscriptions_of_user(user_id):
+                assert primary_interest(dataset, user_id) in categories
+
+    def test_unaffiliated_fallback(self, dataset):
+        # Every cluster id is either a real signal or the sentinel.
+        for user_id in range(NUM_NODES):
+            cluster = primary_interest(dataset, user_id)
+            assert cluster == UNAFFILIATED or cluster >= 0
+
+
+class TestFromDataset:
+    def test_deterministic(self, dataset):
+        a = CommunityPartition.from_dataset(dataset, 4, NUM_NODES)
+        b = CommunityPartition.from_dataset(dataset, 4, NUM_NODES)
+        assert a == b
+
+    def test_clusters_stay_whole(self, dataset):
+        # The point of the partition: one interest community never
+        # straddles a shard boundary.
+        partition = CommunityPartition.from_dataset(dataset, 4, NUM_NODES)
+        shard_of_cluster = {}
+        for node_id in range(NUM_NODES):
+            cluster = primary_interest(dataset, node_id)
+            shard = partition.owner(node_id)
+            assert shard_of_cluster.setdefault(cluster, shard) == shard
+
+    def test_sizes_sum_to_node_count(self, dataset):
+        partition = CommunityPartition.from_dataset(dataset, 4, NUM_NODES)
+        sizes = partition.shard_sizes()
+        assert len(sizes) == 4
+        assert sum(sizes) == NUM_NODES
+
+    def test_surplus_shards_stay_empty(self, dataset):
+        # More shards than interest clusters is legal: the extras just
+        # carry no nodes (and the run still byte-matches shards=1).
+        clusters = {primary_interest(dataset, u) for u in range(NUM_NODES)}
+        num_shards = len(clusters) + 3
+        partition = CommunityPartition.from_dataset(dataset, num_shards, NUM_NODES)
+        sizes = partition.shard_sizes()
+        assert sum(sizes) == NUM_NODES
+        assert sizes.count(0) >= 3
+
+    def test_out_of_range_actors_belong_to_shard_zero(self, dataset):
+        partition = CommunityPartition.from_dataset(dataset, 4, NUM_NODES)
+        assert partition.owner(-1) == 0  # the central server
+        assert partition.owner(NUM_NODES + 5) == 0
+
+    def test_one_shard_is_the_trivial_partition(self, dataset):
+        partition = CommunityPartition.from_dataset(dataset, 1, NUM_NODES)
+        assert partition == CommunityPartition.single(NUM_NODES)
+        assert set(partition.shard_of_node) == {0}
+        assert partition.shard_of_cluster == {}
+
+    def test_invalid_shard_count_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            CommunityPartition.from_dataset(dataset, 0, NUM_NODES)

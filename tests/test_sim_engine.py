@@ -281,7 +281,11 @@ class TestHeapCompaction:
                 live.append(sched.schedule(float(round_number + 1), lambda: None))
             for _ in range(8):
                 live.pop(0).cancel()
-        brute_force = sum(1 for _t, _s, e in sched._heap if e.pending)
+        brute_force = sum(
+            1
+            for _t, _s, e, gen in sched._heap
+            if e.pending and gen == e._generation
+        )
         assert sched.pending_count() == brute_force == len(live)
         assert len(sched._heap) <= 2 * sched.pending_count() + 1
 
@@ -305,3 +309,106 @@ class TestAccounting:
         sched.schedule(2.0, fired.append, 2)
         assert sched.step() is True
         assert fired == [1]
+
+
+class TestCancelReporting:
+    def test_cancel_reports_whether_it_acted(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        assert event.cancel() is True
+        assert event.cancel() is False  # idempotent repeat did nothing
+
+    def test_cancel_after_fire_reports_false(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert event.cancel() is False
+
+
+class TestReschedule:
+    def test_moves_a_pending_event(self):
+        sched = EventScheduler()
+        order = []
+        event = sched.schedule(1.0, order.append, "moved")
+        sched.schedule(3.0, order.append, "fixed")
+        event.reschedule(5.0)
+        sched.run()
+        assert order == ["fixed", "moved"]
+        assert event.time == 5.0
+
+    def test_returns_self_for_chaining(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        assert event.reschedule(2.0) is event
+
+    def test_fires_exactly_once_after_move(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule(1.0, fired.append, 1)
+        event.reschedule(2.0)
+        sched.run()
+        assert fired == [1]
+
+    def test_replacement_args(self):
+        sched = EventScheduler()
+        got = []
+        event = sched.schedule(1.0, got.append, "old")
+        event.reschedule(1.0, "new")
+        sched.run()
+        assert got == ["new"]
+
+    def test_revives_a_cancelled_event(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule(1.0, fired.append, 1)
+        assert event.cancel() is True
+        event.reschedule(2.0)
+        assert event.pending
+        sched.run()
+        assert fired == [1]
+
+    def test_rearms_a_fired_event(self):
+        # The periodic-timer pattern: one handle for the hook's life.
+        sched = EventScheduler()
+        times = []
+
+        def tick():
+            times.append(sched.now)
+            if len(times) < 3:
+                event.reschedule(10.0)
+
+        event = sched.schedule(10.0, tick)
+        sched.run()
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_keeps_pending_count_at_one(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        for _ in range(100):
+            event.reschedule(1.0)
+        assert sched.pending_count() == 1
+        # Compaction sheds the orphaned entries as they accumulate.
+        assert len(sched._heap) <= 2 * sched.pending_count() + 1
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            event.reschedule(-0.5)
+        assert event.pending  # the failed call left the arming intact
+
+    def test_unscheduled_event_rejected(self):
+        event = Event(1.0, lambda: None, ())
+        with pytest.raises(SimulationError):
+            event.reschedule(1.0)
+
+    def test_ties_fifo_with_fresh_schedules(self):
+        # A reschedule consumes one sequence number, exactly like a
+        # fresh schedule -- FIFO among ties is preserved either way.
+        sched = EventScheduler()
+        order = []
+        early = sched.schedule(0.5, order.append, "rescheduled")
+        early.reschedule(2.0)
+        sched.schedule(2.0, order.append, "fresh")
+        sched.run()
+        assert order == ["rescheduled", "fresh"]
