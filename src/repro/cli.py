@@ -57,8 +57,8 @@ def _run_flags_parent() -> argparse.ArgumentParser:
 
     ``compare``, ``figures``, ``profile``, ``chaos``, ``dashboard`` and
     ``regress`` all attach this parent, so ``--seed/--seeds/--jobs/
-    --shards`` carry the same spelling and help text everywhere instead
-    of drifting per-subcommand copies.  ``--seed`` defaults to
+    --shards/--workers`` carry the same spelling and help text
+    everywhere instead of drifting per-subcommand copies.  ``--seed`` defaults to
     ``argparse.SUPPRESS`` so a subcommand-position ``--seed`` overrides
     the top-level one without clobbering its default when absent.
     """
@@ -80,6 +80,11 @@ def _run_flags_parent() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="community-partitioned shards per run (1 = classic engine); "
         "the determinism gate makes output byte-identical for any value",
+    )
+    parent.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for shard-lane scale-out (1 = in-process); "
+        "byte-identical output for any value (see docs/scaling.md)",
     )
     return parent
 
@@ -126,7 +131,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     seeds = _parse_seeds(args.seeds)
     specs = sweep_specs(
         ("pavod", "nettube", "socialtube"), config, seeds=seeds,
-        shards=args.shards,
+        shards=args.shards, workers=args.workers,
     )
     results = run_sweep(specs, jobs=args.jobs)
     if seeds and len(seeds) > 1:
@@ -153,6 +158,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         seeds=seeds,
         jobs=args.jobs,
         shards=args.shards,
+        workers=args.workers,
     )
     environments = ("peersim",) if args.quick else ("peersim", "planetlab")
     suite.warm(environments=environments)
@@ -236,7 +242,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     spec = ExperimentSpec(
         protocol=args.protocol, config=config, environment=args.environment,
-        shards=args.shards,
+        shards=args.shards, workers=args.workers,
     )
     profiled = run_profiled(spec, jobs=args.jobs)
     path = os.path.join(args.outdir, trace_filename(spec))
@@ -270,7 +276,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     specs = [
         ExperimentSpec(
             protocol=name, config=config, environment=args.environment,
-            shards=args.shards,
+            shards=args.shards, workers=args.workers,
         )
         for name in protocols
     ]
@@ -311,7 +317,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     spec = ExperimentSpec(
         protocol=args.protocol, config=config, environment=args.environment,
-        shards=args.shards,
+        shards=args.shards, workers=args.workers,
     ).with_faults(FaultPlan.demo())
     task = (spec, args.window)
     if args.jobs > 1:
@@ -347,6 +353,7 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         update=args.update,
         quick=args.quick,
         shards=args.shards,
+        workers=args.workers,
     )
 
 

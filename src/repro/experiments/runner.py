@@ -23,6 +23,14 @@ cross-shard one-way delay.  The determinism gate guarantees the result
 is byte-identical to ``shards=1``; the per-shard attribution rides
 along as ``result.shard_report``.
 
+``spec.workers`` is recorded on that report but the paper-metric
+pipeline always executes exact mode in one process: the protocol stack
+shares server/tracker/overlay state across shards, so honest lane
+decomposition would change which RNG stream serves which draw.  Real
+multiprocess execution lives at the lane-program level
+(:mod:`repro.shard.workers`), where state is shared-nothing by
+construction; docs/scaling.md spells out the split.
+
 Delay model (documented in DESIGN.md section 5):
 
 * peer provider found by flooding: one one-way latency per hop along
@@ -37,6 +45,7 @@ Delay model (documented in DESIGN.md section 5):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -838,7 +847,11 @@ class ExperimentRunner:
             )
         self.scheduler.run()
         report = (
-            self.scheduler.shard_report()
+            dataclasses.replace(
+                self.scheduler.shard_report(),
+                workers=self.spec.workers,
+                execution="exact",
+            )
             if isinstance(self.scheduler, ShardedScheduler)
             else None
         )

@@ -22,21 +22,40 @@ The package has four parts:
 * :mod:`repro.shard.lanes` -- :class:`LaneEngine`, the *throughput
   mode*: per-shard event lanes advance independently inside
   conservative lookahead windows bounded by the minimum cross-shard
-  latency, exchanging mailbox batches at window barriers.
+  latency, exchanging mailbox batches at window barriers;
+* :mod:`repro.shard.workers` -- the *scale-out mode*:
+  :func:`run_lane_program` executes one :class:`LaneProgram` per shard
+  on a persistent ``multiprocessing`` pool, shared-nothing lane state,
+  mailbox batches over pipes only at window barriers, rows merged in
+  canonical order -- byte-identical to the in-process run for any
+  worker count (see docs/scaling.md).
 """
 
-from repro.shard.lanes import LaneEngine
+from repro.shard.lanes import LaneEngine, run_program_on_lane_engine
 from repro.shard.mailbox import Mailbox, ShardMessage, ShardViolation
 from repro.shard.partition import CommunityPartition, primary_interest
 from repro.shard.scheduler import ShardedScheduler, ShardReport
+from repro.shard.workers import (
+    LaneProgram,
+    LaneRunResult,
+    WorkerCrashError,
+    WorkerLane,
+    run_lane_program,
+)
 
 __all__ = [
     "CommunityPartition",
     "LaneEngine",
+    "LaneProgram",
+    "LaneRunResult",
     "Mailbox",
     "ShardMessage",
     "ShardReport",
     "ShardViolation",
     "ShardedScheduler",
+    "WorkerCrashError",
+    "WorkerLane",
     "primary_interest",
+    "run_lane_program",
+    "run_program_on_lane_engine",
 ]

@@ -303,3 +303,93 @@ class LaneEngine:
             f"LaneEngine(shards={self.num_shards}, "
             f"lookahead={self.lookahead_s:.3f}, events={self.total_events})"
         )
+
+
+class _ProgramLaneFacade:
+    """Adapts one :class:`Lane` to the :class:`repro.shard.workers.WorkerLane`
+    program surface (``post``/``post_at``/``send``/``emit``/``rng``/``now``),
+    so the same :class:`~repro.shard.workers.LaneProgram` runs unchanged on
+    this engine -- the third leg of the worker-parity cross-validation.
+    """
+
+    __slots__ = (
+        "index",
+        "num_shards",
+        "program",
+        "_engine",
+        "_lane",
+        "_rows",
+        "_emit_seq",
+    )
+
+    def __init__(self, engine: "LaneEngine", lane: Lane):
+        self.index = lane.index
+        self.num_shards = len(engine.lanes)
+        self.program: Any = None
+        self._engine = engine
+        self._lane = lane
+        self._rows: List[Tuple[Any, ...]] = []
+        self._emit_seq = 0
+
+    @property
+    def rng(self) -> RngStreams:
+        return self._lane.rng
+
+    @property
+    def now(self) -> float:
+        return self._lane.now
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        self._engine.post(self._lane, delay, fn, *args)
+
+    def post_at(
+        self, fire_time: float, fn: Callable[..., Any], args: Tuple[Any, ...] = ()
+    ) -> None:
+        self._engine.post_at(self._lane, fire_time, fn, args)
+
+    def send(
+        self,
+        dest_shard: int,
+        fire_time: float,
+        kind: str,
+        payload: Tuple[Any, ...] = (),
+    ) -> ShardMessage:
+        return self._engine.send(dest_shard, fire_time, kind, payload)
+
+    def emit(self, *values: Any) -> None:
+        self._rows.append((self._lane.now, self.index, self._emit_seq) + values)
+        self._emit_seq += 1
+
+
+def run_program_on_lane_engine(
+    program_factory: Callable[[], Any],
+    num_shards: int,
+    lookahead_s: float,
+    horizon_s: float,
+    seed: int = 0,
+) -> Tuple[List[Tuple[Any, ...]], Dict[str, Any]]:
+    """Run a :class:`repro.shard.workers.LaneProgram` on this engine.
+
+    Returns ``(rows, stats)`` with rows in the canonical ``(sim_time,
+    lane, emit_seq)`` merge order -- byte-comparable against
+    :func:`repro.shard.workers.run_lane_program` output for the same
+    program, which is exactly how the parity tests use it.
+    """
+
+    def deliver(engine: "LaneEngine", lane: Lane, message: ShardMessage) -> None:
+        facade = facades[lane.index]
+        facade.program.on_message(facade, message)
+
+    engine = LaneEngine(
+        num_shards, lookahead_s, seed, on_message=deliver, strict=True
+    )
+    facades = [_ProgramLaneFacade(engine, lane) for lane in engine.lanes]
+    for facade in facades:
+        facade.program = program_factory()
+        facade.program.setup(facade)
+    engine.run_until(horizon_s)
+    rows: List[Tuple[Any, ...]] = []
+    for facade in facades:
+        rows.extend(facade._rows)
+    rows.sort(key=lambda row: (row[0], row[1], row[2]))
+    return rows, engine.stats()

@@ -62,13 +62,23 @@ class ShardReport:
     lookahead_violations: int
     #: ``(origin, dest, count)`` per shard pair, sorted.
     messages_by_pair: Tuple[Tuple[int, int, int], ...]
+    #: Worker processes the spec asked for.  Exact mode always executes
+    #: single-process (byte parity is structural: one shared heap); real
+    #: multiprocess execution lives in :mod:`repro.shard.workers`, and
+    #: this field records the requested fan-out for the report.
+    workers: int = 1
+    #: Which execution model produced the run: ``"exact"`` here; the
+    #: lane pool reports ``"in-process"``/``"multiprocess"``/
+    #: ``"serialized"`` through its own stats payload.
+    execution: str = "exact"
 
     def render_rows(self) -> List[str]:
         total = max(1, sum(self.events_by_shard))
         rows = [
             f"  shards: {self.num_shards} "
             f"(lookahead {self.lookahead_s * 1000.0:.1f} ms, "
-            f"{self.windows} windows)"
+            f"{self.windows} windows, {self.execution} mode, "
+            f"workers {self.workers})"
         ]
         for shard, events in enumerate(self.events_by_shard):
             rows.append(

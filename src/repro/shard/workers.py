@@ -1,0 +1,797 @@
+# shard: module=shard-local -- the pool and its lanes belong to one run
+"""Multiprocess shard lanes: the window-barrier worker pool.
+
+:class:`repro.shard.lanes.LaneEngine` made window-batched per-shard
+lanes fast on one core; this module is the step the ROADMAP names next
+-- mapping those lanes onto **real worker processes** so one simulated
+system finally exceeds one core.  The shape follows the clustered-
+overlay literature the design leans on (CliqueStream's per-clique
+units, the Orkut social-locality argument): interest communities are
+shared-nothing, so a lane -- its shard's nodes, links and
+``RngStreams.for_run(seed, "shard:<k>")`` fork -- can live wholly
+inside one process and synchronize only at window barriers.
+
+Execution model
+---------------
+
+A :class:`LaneProgram` describes one shard's behaviour: ``setup`` plants
+the lane's initial events, ``on_message`` handles barrier-delivered
+cross-lane messages.  :func:`run_lane_program` executes ``num_shards``
+program instances under one of three execution modes, chosen by the
+``(lookahead, workers)`` pair -- **all three produce byte-identical
+rows and counters**:
+
+* ``multiprocess`` -- ``workers > 1`` and positive lookahead: lanes are
+  distributed round-robin over a persistent pool of worker processes.
+  Per-lane state never crosses a pipe; only the window-barrier control
+  messages (see :data:`CONTROL_OPS`), pickled
+  :class:`~repro.shard.mailbox.ShardMessage` batches and emitted rows
+  do.  The coordinator drives the conservative window grid, routes
+  mailbox batches between workers at barriers, and merges per-lane rows
+  in canonical order.
+* ``in-process`` -- ``workers <= 1`` with positive lookahead: the same
+  coordinator loop over local lanes, no processes, no pickling.  This
+  is the reference implementation the byte-parity tests compare
+  against.
+* ``serialized`` -- zero lookahead (planar/WAN jitter is unbounded
+  below unless the bounded-jitter variant is enabled; see
+  ``LatencyModel.min_one_way_s``): every distinct event time is a
+  barrier, so there is no parallelism to extract and the run falls
+  back to in-process serialized execution -- slower, never deadlocked,
+  still byte-identical.
+
+Determinism contract
+--------------------
+
+* Each lane owns an ``RngStreams.for_run(seed, "shard:<k>")`` fork --
+  created inside the process that executes the lane, consumed by no one
+  else, so draw sequences are independent of worker count and layout.
+* Cross-lane messages carry the canonical ``(fire_time, origin_shard,
+  seq)`` key of :mod:`repro.shard.mailbox`; barriers deliver every
+  pending batch in that order, which is a pure function of simulation
+  state, never of wall-clock arrival.
+* Emitted rows are tagged ``(sim_time, lane, emit_seq)`` and merged by
+  that key.  Window time ranges are disjoint (an event in window ``w``
+  has ``time in [w*L, (w+1)*L)``), so the merged stream is identical
+  whether windows ran on one process or eight.
+
+Failure surface: a worker process that dies (or raises) is detected at
+the next barrier round-trip and surfaced as :class:`WorkerCrashError`
+carrying the lane set and remote traceback -- the coordinator tears the
+pool down instead of hanging on a dead pipe.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.shard.mailbox import ShardMessage, ShardViolation, canonical_order
+from repro.sim.engine import SimulationError
+from repro.sim.rng import RngStreams
+
+#: Wire vocabulary of the coordinator<->worker barrier protocol, in
+#: lifecycle order.  Documented in docs/scaling.md (cross-checked by
+#: tools/check_docs.py).
+CONTROL_OPS: Tuple[str, ...] = (  # shard: shared-read
+    "ready",
+    "deliver",
+    "delivered",
+    "run",
+    "done",
+    "stop",
+    "stats",
+    "error",
+)
+
+#: Keys of :attr:`LaneRunResult.stats`.  Documented in docs/tracing.md
+#: (cross-checked by tools/check_docs.py).
+STATS_FIELDS: Tuple[str, ...] = (  # shard: shared-read
+    "execution",
+    "workers",
+    "num_shards",
+    "lookahead_s",
+    "windows",
+    "total_events",
+    "events_by_lane",
+    "messages_sent",
+    "messages_delivered",
+    "rows_emitted",
+)
+
+#: Seconds the coordinator waits on one barrier round-trip before
+#: declaring a worker hung.  Generous: a window should take
+#: milliseconds; minutes means a dead or livelocked worker.
+DEFAULT_BARRIER_TIMEOUT_S = 300.0  # shard: shared-read
+
+
+class WorkerCrashError(RuntimeError):
+    """A lane worker process died, raised, or stopped answering barriers."""
+
+
+class LaneProgram:
+    """One shard's behaviour under the lane pool; instances never cross
+    process boundaries (the *factory* does -- it must be picklable).
+
+    Subclass and implement :meth:`setup`; implement :meth:`on_message`
+    when the program sends cross-lane messages.  One instance is
+    constructed per lane, inside whichever process owns that lane, so
+    instance state is shard-local by construction.
+    """
+
+    def setup(self, lane: "WorkerLane") -> None:
+        """Plant the lane's initial events (``lane.post``)."""
+        raise NotImplementedError
+
+    def on_message(self, lane: "WorkerLane", message: ShardMessage) -> None:
+        """Handle one barrier-delivered cross-lane message.
+
+        Typically re-files the payload as a lane-local event via
+        ``lane.post_at(message.fire_time, ...)``.
+        """
+        raise NotImplementedError(
+            f"lane {lane.index} received {message.kind!r} but "
+            f"{type(self).__name__} does not implement on_message"
+        )
+
+
+class WorkerLane:
+    """One shard's lane: local clock, bucket calendar, RNG fork, outbox.
+
+    This is the per-process counterpart of
+    :class:`repro.shard.lanes.Lane` with the program-facing surface
+    attached: :meth:`post`/:meth:`post_at` (lane-local events),
+    :meth:`send` (cross-lane message, delivered at the next barrier),
+    :meth:`emit` (one canonical result row).  All state is owned by the
+    single process executing the lane.
+    """
+
+    __slots__ = (
+        "index",
+        "num_shards",
+        "lookahead_s",
+        "rng",
+        "now",
+        "events_run",
+        "sent",
+        "program",
+        "_buckets",
+        "_bucket_keys",
+        "_heap",
+        "_seq",
+        "_msg_seq",
+        "_emit_seq",
+        "_outbox",
+        "_rows",
+        "_in_event",
+        "_active_window",
+        "_spilled",
+        "_window_end",
+    )
+
+    def __init__(self, index: int, num_shards: int, lookahead_s: float, seed: int):
+        self.index = index
+        self.num_shards = num_shards
+        self.lookahead_s = float(lookahead_s)
+        #: Partition-local stream family; forked from the run seed with
+        #: the reserved ``shard:<k>`` qualifier, owned by this process.
+        self.rng = RngStreams.for_run(seed, f"shard:{index}")
+        self.now = 0.0
+        self.events_run = 0
+        self.sent = 0
+        self.program: Optional[LaneProgram] = None
+        #: Window index -> unsorted batch of ``(time, seq, fn, args)``.
+        self._buckets: Dict[int, List[Tuple[float, int, Any, Tuple[Any, ...]]]] = {}
+        self._bucket_keys: List[int] = []
+        #: Serialized-mode storage (``lookahead_s == 0``).
+        self._heap: List[Tuple[float, int, Any, Tuple[Any, ...]]] = []
+        self._seq = 0
+        self._msg_seq = 0
+        self._emit_seq = 0
+        self._outbox: List[ShardMessage] = []
+        self._rows: List[Tuple[Any, ...]] = []
+        self._in_event = False
+        self._active_window: Optional[int] = None
+        self._spilled = False
+        self._window_end = 0.0
+
+    # -- program-facing surface ---------------------------------------------
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` on this lane, ``delay`` after its clock."""
+        if delay < 0:
+            raise SimulationError(f"cannot post {delay!r} seconds in the past")
+        self.post_at(self.now + delay, fn, args)
+
+    def post_at(
+        self, fire_time: float, fn: Callable[..., Any], args: Tuple[Any, ...] = ()
+    ) -> None:
+        """Schedule at an absolute lane time (message re-filing)."""
+        if fire_time < self.now:
+            raise SimulationError(
+                f"cannot post at t={fire_time!r}, lane {self.index} clock "
+                f"already at t={self.now!r}"
+            )
+        self._seq += 1
+        entry = (fire_time, self._seq, fn, args)
+        if self.lookahead_s > 0:
+            key = int(fire_time / self.lookahead_s)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [entry]
+                heapq.heappush(self._bucket_keys, key)
+            else:
+                bucket.append(entry)
+            if key == self._active_window:
+                self._spilled = True
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def send(
+        self,
+        dest_shard: int,
+        fire_time: float,
+        kind: str,
+        payload: Tuple[Any, ...] = (),
+    ) -> ShardMessage:
+        """Emit a cross-lane message (strict lookahead; pickle-safe payload).
+
+        Buffered in the lane outbox; the coordinator routes it at the
+        next window barrier in canonical ``(fire_time, origin_shard,
+        seq)`` order.  ``fire_time`` must land at or past the end of the
+        sender's current window -- the conservative contract that makes
+        running whole windows without peeking at other lanes legal.
+        """
+        if not self._in_event:
+            raise SimulationError("send() is only legal from inside an event")
+        if not 0 <= dest_shard < self.num_shards:
+            raise ValueError(
+                f"dest_shard {dest_shard!r} out of range 0..{self.num_shards - 1}"
+            )
+        fire = float(fire_time)
+        if fire < self._window_end:
+            raise ShardViolation(
+                f"{kind!r} from lane {self.index} to {dest_shard} fires at "
+                f"t={fire:.6f}, inside the sender's window (ends "
+                f"t={self._window_end:.6f}); the lookahead bound is broken"
+            )
+        message = ShardMessage(
+            fire_time=fire,
+            origin_shard=self.index,
+            dest_shard=dest_shard,
+            seq=self._msg_seq,
+            kind=kind,
+            payload=tuple(payload),
+        )
+        self._msg_seq += 1
+        self.sent += 1
+        self._outbox.append(message)
+        return message
+
+    def emit(self, *values: Any) -> None:
+        """Append one result row, tagged ``(sim_time, lane, emit_seq)``.
+
+        The tag is the canonical merge key: the coordinator's merged
+        stream is sorted by it, so row order is a pure function of
+        simulation state -- independent of worker count and layout.
+        """
+        self._rows.append((self.now, self.index, self._emit_seq) + values)
+        self._emit_seq += 1
+
+    # -- coordinator-facing surface -----------------------------------------
+
+    def run_window(self, window: int) -> None:
+        """Drain this lane's bucket for ``window``, batch-sorted.
+
+        Same contract as ``LaneEngine._run_lane_window``: one
+        ``list.sort`` plus a straight scan, with same-window spills
+        (lane-local causality) merged into the unfired remainder so
+        ``(fire_time, seq)`` order holds and the clock never reverses.
+        """
+        self._window_end = (window + 1) * self.lookahead_s
+        batch = self._buckets.pop(window, None)
+        if not batch:
+            return
+        self._active_window = window
+        self._in_event = True
+        batch.sort()
+        i = 0
+        while i < len(batch):
+            time, _seq, fn, args = batch[i]
+            i += 1
+            self.now = time
+            self.events_run += 1
+            fn(*args)
+            if self._spilled:
+                self._spilled = False
+                extra = self._buckets.pop(window, None)
+                if extra:
+                    remainder = batch[i:]
+                    remainder.extend(extra)
+                    remainder.sort()
+                    batch = remainder
+                    i = 0
+        self._active_window = None
+        self._in_event = False
+
+    def run_at(self, fire_time: float) -> None:
+        """Serialized mode: run every pending event at exactly ``fire_time``."""
+        self._window_end = fire_time
+        heap = self._heap
+        self._in_event = True
+        # Exact by construction: fire_time IS the heap head returned by
+        # next_window_key(), bitwise-identical -- no accumulation here.
+        while heap and heap[0][0] == fire_time:  # lint: disable=float-time-eq
+            time, _seq, fn, args = heapq.heappop(heap)
+            self.now = time
+            self.events_run += 1
+            fn(*args)
+        self._in_event = False
+
+    def next_window_key(self) -> Optional[float]:
+        """Smallest pending bucket key (windowed) or fire time (serialized)."""
+        if self.lookahead_s > 0:
+            keys = self._bucket_keys
+            while keys and not self._buckets.get(keys[0]):
+                self._buckets.pop(keys[0], None)
+                heapq.heappop(keys)
+            return keys[0] if keys else None
+        return self._heap[0][0] if self._heap else None
+
+    def deliver(self, message: ShardMessage) -> None:
+        """Hand one barrier-delivered message to the lane's program."""
+        self.program.on_message(self, message)
+
+    def take_outbox(self) -> List[ShardMessage]:
+        """Drain and return the window's outgoing cross-lane messages."""
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def take_rows(self) -> List[Tuple[Any, ...]]:
+        """Drain and return the rows emitted since the last barrier."""
+        rows = self._rows
+        self._rows = []
+        return rows
+
+    def lane_stats(self) -> Tuple[int, int, int, int]:
+        """``(index, events_run, sent, emit_seq)`` -- plain, pickle-safe."""
+        return (self.index, self.events_run, self.sent, self._emit_seq)
+
+
+@dataclass
+class LaneRunResult:
+    """Merged output of one lane-program run.
+
+    ``rows`` is the canonical merged row stream (sorted by the
+    ``(sim_time, lane, emit_seq)`` tag every ``emit`` prepends);
+    ``stats`` carries the :data:`STATS_FIELDS` counters.  Both are
+    byte-identical across execution modes and worker counts -- the
+    worker-parity gate diffs them directly.
+    """
+
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def execution(self) -> str:
+        """Which mode ran: ``multiprocess``, ``in-process``, ``serialized``."""
+        return self.stats["execution"]
+
+
+# ---------------------------------------------------------------------------
+# worker process side
+
+
+def _build_lanes(
+    lane_indices: List[int],
+    num_shards: int,
+    lookahead_s: float,
+    seed: int,
+    program_factory: Callable[[], LaneProgram],
+) -> List[WorkerLane]:
+    """Construct and set up the lanes one worker owns (ascending order)."""
+    lanes = []
+    for index in lane_indices:
+        lane = WorkerLane(index, num_shards, lookahead_s, seed)
+        lane.program = program_factory()
+        lane.program.setup(lane)
+        lanes.append(lane)
+    return lanes
+
+
+def _worker_main(
+    conn: Any,
+    lane_indices: List[int],
+    num_shards: int,
+    lookahead_s: float,
+    seed: int,
+    program_factory: Callable[[], LaneProgram],
+) -> None:
+    """Entry point of one pool worker: serve barrier rounds until ``stop``.
+
+    Every reply is one of :data:`CONTROL_OPS`.  Any exception -- in the
+    program, the lane, or the protocol -- is reported as an ``error``
+    frame carrying the traceback, then the worker exits; the coordinator
+    turns that into a :class:`WorkerCrashError`.
+    """
+    try:
+        lanes = _build_lanes(
+            lane_indices, num_shards, lookahead_s, seed, program_factory
+        )
+        by_index = {lane.index: lane for lane in lanes}
+        conn.send(("ready", [(lane.index, lane.next_window_key()) for lane in lanes]))
+        while True:
+            frame = conn.recv()
+            op = frame[0]
+            if op == "deliver":
+                for message in frame[1]:
+                    by_index[message.dest_shard].deliver(message)
+                conn.send(
+                    ("delivered", [(l.index, l.next_window_key()) for l in lanes])
+                )
+            elif op == "run":
+                window = frame[1]
+                outgoing: List[ShardMessage] = []
+                rows: List[Tuple[Any, ...]] = []
+                for lane in lanes:
+                    lane.run_window(window)
+                    outgoing.extend(lane.take_outbox())
+                    rows.extend(lane.take_rows())
+                conn.send(
+                    (
+                        "done",
+                        outgoing,
+                        rows,
+                        [(lane.index, lane.next_window_key()) for lane in lanes],
+                    )
+                )
+            elif op == "stop":
+                conn.send(("stats", [lane.lane_stats() for lane in lanes]))
+                conn.close()
+                return
+            else:  # pragma: no cover - defensive: unknown coordinator frame
+                raise SimulationError(f"unknown control op {op!r}")
+    except EOFError:  # coordinator died; exit quietly
+        return
+    # Deliberately total: ANY failure must become an error frame the
+    # coordinator can surface -- swallowing is the coordinator's call.
+    except BaseException:  # lint: disable=broad-except
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):  # pipe already gone
+            pass
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+
+
+class _ProcessPool:
+    """Persistent worker processes plus the crash-safe pipe plumbing."""
+
+    def __init__(
+        self,
+        assignments: List[List[int]],
+        num_shards: int,
+        lookahead_s: float,
+        seed: int,
+        program_factory: Callable[[], LaneProgram],
+        timeout_s: float,
+    ):
+        self.timeout_s = timeout_s
+        self.assignments = assignments
+        self.procs: List[multiprocessing.Process] = []
+        self.conns: List[Any] = []
+        for lane_indices in assignments:
+            parent, child = multiprocessing.Pipe()
+            proc = multiprocessing.Process(
+                target=_worker_main,
+                args=(
+                    child,
+                    lane_indices,
+                    num_shards,
+                    lookahead_s,
+                    seed,
+                    program_factory,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self.procs.append(proc)
+            self.conns.append(parent)
+
+    def send(self, worker: int, frame: Tuple[Any, ...]) -> None:
+        try:
+            self.conns[worker].send(frame)
+        except (BrokenPipeError, OSError):
+            self._crash(worker, "its pipe closed mid-send")
+
+    def recv(self, worker: int) -> Tuple[Any, ...]:
+        """One reply frame, or :class:`WorkerCrashError` -- never a hang."""
+        conn = self.conns[worker]
+        try:
+            if not conn.poll(self.timeout_s):
+                self._crash(
+                    worker,
+                    f"no barrier reply within {self.timeout_s:.0f}s (hung?)",
+                )
+            frame = conn.recv()
+        except (EOFError, ConnectionResetError, OSError):
+            self._crash(worker, "its pipe closed mid-reply")
+        if frame[0] == "error":
+            self._crash(worker, f"the program raised:\n{frame[1]}")
+        return frame
+
+    def _crash(self, worker: int, why: str) -> None:
+        proc = self.procs[worker]
+        proc.join(timeout=1.0)
+        code = proc.exitcode
+        self.terminate()
+        raise WorkerCrashError(
+            f"lane worker {worker} (lanes {self.assignments[worker]}) "
+            f"failed: {why} (exit code {code})"
+        )
+
+    def terminate(self) -> None:
+        """Tear the pool down unconditionally (error paths)."""
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+
+    def shutdown(self) -> List[Tuple[int, int, int, int]]:
+        """Graceful stop: collect per-lane stats, join every worker."""
+        stats: List[Tuple[int, int, int, int]] = []
+        for worker in range(len(self.procs)):
+            self.send(worker, ("stop",))
+        for worker in range(len(self.procs)):
+            frame = self.recv(worker)
+            stats.extend(frame[1])
+        for proc in self.procs:
+            proc.join(timeout=5.0)
+        return stats
+
+
+def _round_robin(num_shards: int, workers: int) -> List[List[int]]:
+    """Lane -> worker assignment: lane ``k`` on worker ``k % workers``."""
+    return [list(range(w, num_shards, workers)) for w in range(workers)]
+
+
+def _merge_rows(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    """Canonical row order: sort by the ``(sim_time, lane, emit_seq)`` tag.
+
+    Within a lane the tag is strictly increasing, and window time
+    ranges are disjoint, so this single sort equals per-window
+    concatenation of per-window sorts -- one rule for every mode.
+    """
+    rows.sort(key=lambda row: (row[0], row[1], row[2]))
+    return rows
+
+
+def _stats_payload(
+    execution: str,
+    workers: int,
+    num_shards: int,
+    lookahead_s: float,
+    windows: int,
+    lane_stats: List[Tuple[int, int, int, int]],
+    delivered: int,
+) -> Dict[str, Any]:
+    """Fold per-lane counters into the :data:`STATS_FIELDS` dict."""
+    by_lane = {index: (events, sent, emitted) for index, events, sent, emitted in lane_stats}
+    ordered = [by_lane[index] for index in sorted(by_lane)]
+    return {
+        "execution": execution,
+        "workers": workers,
+        "num_shards": num_shards,
+        "lookahead_s": lookahead_s,
+        "windows": windows,
+        "total_events": sum(events for events, _sent, _rows in ordered),
+        "events_by_lane": [events for events, _sent, _rows in ordered],
+        "messages_sent": sum(sent for _events, sent, _rows in ordered),
+        "messages_delivered": delivered,
+        "rows_emitted": sum(rows for _events, _sent, rows in ordered),
+    }
+
+
+def _run_multiprocess(
+    program_factory: Callable[[], LaneProgram],
+    num_shards: int,
+    lookahead_s: float,
+    horizon_s: float,
+    seed: int,
+    workers: int,
+    timeout_s: float,
+) -> LaneRunResult:
+    """The windowed barrier loop over a live process pool."""
+    assignments = _round_robin(num_shards, workers)
+    owner = {k: k % workers for k in range(num_shards)}
+    pool = _ProcessPool(
+        assignments, num_shards, lookahead_s, seed, program_factory, timeout_s
+    )
+    try:
+        next_key: Dict[int, Optional[float]] = {}
+        for worker in range(workers):
+            frame = pool.recv(worker)  # ("ready", [(lane, key), ...])
+            next_key.update(dict(frame[1]))
+        pending: List[ShardMessage] = []
+        rows: List[Tuple[Any, ...]] = []
+        windows = 0
+        delivered = 0
+
+        def barrier_deliver() -> None:
+            """Route every pending message; refresh post-delivery keys."""
+            nonlocal pending, delivered
+            batch = canonical_order(pending)
+            pending = []
+            delivered += len(batch)
+            routed: List[List[ShardMessage]] = [[] for _ in range(workers)]
+            for message in batch:
+                routed[owner[message.dest_shard]].append(message)
+            for worker in range(workers):
+                pool.send(worker, ("deliver", routed[worker]))
+            for worker in range(workers):
+                frame = pool.recv(worker)
+                next_key.update(dict(frame[1]))
+
+        while True:
+            if pending:
+                barrier_deliver()
+            keys = sorted(k for k in next_key.values() if k is not None)
+            if not keys or keys[0] * lookahead_s >= horizon_s:
+                break
+            window = int(keys[0])
+            for worker in range(workers):
+                pool.send(worker, ("run", window))
+            for worker in range(workers):
+                frame = pool.recv(worker)
+                pending.extend(frame[1])
+                rows.extend(frame[2])
+                next_key.update(dict(frame[3]))
+            windows += 1
+        if pending:
+            # Final barrier: last-window sends still reach their
+            # destination programs (their events just never run).
+            barrier_deliver()
+        lane_stats = pool.shutdown()
+    except BaseException:
+        pool.terminate()
+        raise
+    return LaneRunResult(
+        rows=_merge_rows(rows),
+        stats=_stats_payload(
+            "multiprocess",
+            workers,
+            num_shards,
+            lookahead_s,
+            windows,
+            lane_stats,
+            delivered,
+        ),
+    )
+
+
+def _run_in_process(
+    program_factory: Callable[[], LaneProgram],
+    num_shards: int,
+    lookahead_s: float,
+    horizon_s: float,
+    seed: int,
+) -> LaneRunResult:
+    """The same barrier loop over local lanes (reference implementation)."""
+    lanes = _build_lanes(
+        list(range(num_shards)), num_shards, lookahead_s, seed, program_factory
+    )
+    pending: List[ShardMessage] = []
+    rows: List[Tuple[Any, ...]] = []
+    windows = 0
+    delivered = 0
+    serialized = lookahead_s <= 0
+
+    def barrier_deliver() -> None:
+        nonlocal pending, delivered
+        batch = canonical_order(pending)
+        pending = []
+        delivered += len(batch)
+        for message in batch:
+            lanes[message.dest_shard].deliver(message)
+
+    while True:
+        if pending:
+            barrier_deliver()
+        keys = sorted(k for k in (lane.next_window_key() for lane in lanes) if k is not None)
+        if serialized:
+            if not keys or keys[0] > horizon_s:
+                break
+            for lane in lanes:
+                lane.run_at(keys[0])
+        else:
+            if not keys or keys[0] * lookahead_s >= horizon_s:
+                break
+            for lane in lanes:
+                lane.run_window(int(keys[0]))
+        for lane in lanes:
+            pending.extend(lane.take_outbox())
+            rows.extend(lane.take_rows())
+        windows += 1
+    if pending:
+        barrier_deliver()
+    return LaneRunResult(
+        rows=_merge_rows(rows),
+        stats=_stats_payload(
+            "serialized" if serialized else "in-process",
+            1,
+            num_shards,
+            lookahead_s,
+            windows,
+            [lane.lane_stats() for lane in lanes],
+            delivered,
+        ),
+    )
+
+
+def run_lane_program(
+    program_factory: Callable[[], LaneProgram],
+    num_shards: int,
+    lookahead_s: float,
+    horizon_s: float,
+    seed: int = 0,
+    workers: int = 1,
+    barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
+) -> LaneRunResult:
+    """Run one :class:`LaneProgram` per shard up to ``horizon_s``.
+
+    The execution mode is an implementation detail the result does not
+    depend on: ``workers > 1`` with positive lookahead runs the
+    multiprocess pool, ``workers <= 1`` runs the same loop in-process,
+    and zero lookahead always falls back to in-process serialized
+    execution (every event time is a barrier -- there is no parallelism
+    to extract, only pipe overhead to pay).  ``workers`` above
+    ``num_shards`` is clamped: a lane is the unit of placement.
+
+    Example::
+
+        class Pinger(LaneProgram):
+            def setup(self, lane):
+                lane.post(1.0, self.tick, lane)
+            def tick(self, lane):
+                lane.emit("tick")
+                lane.post(1.0, self.tick, lane)
+
+        result = run_lane_program(Pinger, num_shards=4, lookahead_s=1.0,
+                                  horizon_s=60.0, workers=4)
+        assert result.rows == run_lane_program(
+            Pinger, num_shards=4, lookahead_s=1.0, horizon_s=60.0).rows
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if lookahead_s < 0:
+        raise ValueError(f"lookahead_s must be >= 0, got {lookahead_s}")
+    if horizon_s < 0:
+        raise SimulationError(f"horizon t={horizon_s!r} is before t=0.0")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = min(int(workers), num_shards)
+    if workers > 1 and lookahead_s > 0:
+        return _run_multiprocess(
+            program_factory,
+            num_shards,
+            lookahead_s,
+            horizon_s,
+            seed,
+            workers,
+            barrier_timeout_s,
+        )
+    return _run_in_process(
+        program_factory, num_shards, lookahead_s, horizon_s, seed
+    )

@@ -78,6 +78,15 @@ class TestCli:
         sharded = capsys.readouterr().out
         assert unsharded == sharded
 
+    def test_workers_flag_output_matches_plain(self, capsys):
+        # The worker count is byte-neutral by contract (docs/scaling.md);
+        # CI's worker-parity job enforces the same diff at full scale.
+        main(["compare", "--quick"])
+        plain = capsys.readouterr().out
+        main(["compare", "--quick", "--shards", "4", "--workers", "4"])
+        pooled = capsys.readouterr().out
+        assert plain == pooled
+
     def test_seed_accepted_after_subcommand(self, capsys):
         # The shared parent parses --seed in subcommand position without
         # clobbering the top-level default when absent.
@@ -94,8 +103,10 @@ class TestCli:
         from repro.cli import _run_flags_parent
 
         parent = _run_flags_parent()
-        args = parent.parse_args(["--seeds", "1,2", "--jobs", "2", "--shards", "4"])
-        assert (args.seeds, args.jobs, args.shards) == ("1,2", 2, 4)
+        args = parent.parse_args(
+            ["--seeds", "1,2", "--jobs", "2", "--shards", "4", "--workers", "2"]
+        )
+        assert (args.seeds, args.jobs, args.shards, args.workers) == ("1,2", 2, 4, 2)
         assert not hasattr(args, "seed")  # SUPPRESS: absent unless given
         assert parent.parse_args(["--seed", "9"]).seed == 9
 

@@ -1,0 +1,250 @@
+"""Tests for the multiprocess lane pool (`repro.shard.workers`).
+
+The headline property is three-way byte parity: `multiprocess`,
+`in-process` and `serialized` execution (plus the LaneEngine adapter)
+must produce identical merged rows and counters for the same program.
+Program classes live at module level so their factories pickle.
+"""
+
+import os
+
+import pytest
+
+from repro.shard.lanes import run_program_on_lane_engine
+from repro.shard.mailbox import ShardViolation
+from repro.shard.workers import (
+    LaneProgram,
+    STATS_FIELDS,
+    WorkerCrashError,
+    run_lane_program,
+)
+from repro.sim.engine import SimulationError
+
+LOOKAHEAD = 2.5
+HORIZON = 40.0
+SHARDS = 4
+SEED = 7
+
+
+class Pinger(LaneProgram):
+    """Timers + RNG draws + cross-lane ping/pong: exercises every surface.
+
+    Each lane ticks on its own period, draws from its fork, emits a row
+    per tick, and pings the next lane one lookahead ahead; the receiver
+    re-files the ping as a lane event and emits a pong row.
+    """
+
+    def setup(self, lane):
+        lane.post(1.0 + 0.25 * lane.index, self.tick, lane, 0)
+
+    def tick(self, lane, n):
+        draw = lane.rng.stream("tick").random()
+        lane.emit("tick", n, round(draw, 9))
+        if n % 3 == 0:
+            dest = (lane.index + 1) % lane.num_shards
+            lane.send(dest, lane.now + LOOKAHEAD, "ping", (lane.index, n))
+        lane.post(1.0 + 0.25 * lane.index, self.tick, lane, n + 1)
+
+    def on_message(self, lane, message):
+        lane.post_at(message.fire_time, self.pong, (lane, message.payload))
+
+    def pong(self, lane, payload):
+        lane.emit("pong", payload)
+
+
+class Quiet(LaneProgram):
+    """Message-free timers: the one-round-trip-per-window fast path."""
+
+    def setup(self, lane):
+        lane.post(1.0, self.tick, lane)
+
+    def tick(self, lane):
+        lane.emit(lane.index)
+        lane.post(1.0, self.tick, lane)
+
+
+class Dies(LaneProgram):
+    """Kills its process mid-run without a word (no error frame)."""
+
+    def setup(self, lane):
+        lane.post(1.0, self.boom, lane)
+
+    def boom(self, lane):
+        if lane.index == 1:
+            os._exit(3)
+
+
+class Raises(LaneProgram):
+    """Raises a recognizable exception inside an event."""
+
+    def setup(self, lane):
+        lane.post(1.0, self.boom)
+
+    def boom(self):
+        raise RuntimeError("lane program exploded deliberately")
+
+
+class TooSoon(LaneProgram):
+    """Breaks the lookahead contract: sends inside its own window."""
+
+    def setup(self, lane):
+        lane.post(1.0, self.tick, lane)
+
+    def tick(self, lane):
+        lane.send(0, lane.now + 0.1, "too-soon", ())
+
+
+class SendsInSetup(LaneProgram):
+    """Illegally sends outside an event (during setup)."""
+
+    def setup(self, lane):
+        lane.send(0, 10.0, "nope", ())
+
+
+def run(workers, lookahead=LOOKAHEAD, program=Pinger, shards=SHARDS):
+    return run_lane_program(
+        program,
+        num_shards=shards,
+        lookahead_s=lookahead,
+        horizon_s=HORIZON,
+        seed=SEED,
+        workers=workers,
+    )
+
+
+class TestParity:
+    def test_multiprocess_matches_in_process(self):
+        reference = run(workers=1)
+        assert reference.execution == "in-process"
+        assert reference.rows  # the workload actually ran
+        assert any(row[3] == "pong" for row in reference.rows)
+        for workers in (2, 4):
+            result = run(workers=workers)
+            assert result.execution == "multiprocess"
+            assert result.rows == reference.rows
+            for fieldname in STATS_FIELDS:
+                if fieldname in ("execution", "workers"):
+                    continue
+                assert result.stats[fieldname] == reference.stats[fieldname], fieldname
+
+    def test_serialized_matches_windowed(self):
+        # Zero lookahead forbids future-window sends, so parity is
+        # checked on a message-free program.
+        windowed = run(workers=1, program=Quiet)
+        serialized = run(workers=1, lookahead=0.0, program=Quiet)
+        assert serialized.execution == "serialized"
+        # The windowed horizon is quantized to the barrier grid, so an
+        # event exactly at the horizon runs only in serialized mode
+        # (same semantics as the LaneEngine; see test_shard_lanes.py).
+        inside = [row for row in serialized.rows if row[0] < HORIZON]
+        assert inside == windowed.rows
+
+    def test_lane_engine_adapter_matches_pool(self):
+        rows, stats = run_program_on_lane_engine(
+            Pinger,
+            num_shards=SHARDS,
+            lookahead_s=LOOKAHEAD,
+            horizon_s=HORIZON,
+            seed=SEED,
+        )
+        assert rows == run(workers=4).rows
+        assert stats["num_shards"] == SHARDS
+
+    def test_repeat_runs_identical(self):
+        assert run(workers=2).rows == run(workers=2).rows
+
+
+class TestStats:
+    def test_stats_shape_and_consistency(self):
+        result = run(workers=4)
+        assert set(result.stats) == set(STATS_FIELDS)
+        assert result.stats["workers"] == 4
+        assert result.stats["num_shards"] == SHARDS
+        assert result.stats["lookahead_s"] == LOOKAHEAD
+        assert result.stats["windows"] > 0
+        assert result.stats["total_events"] == sum(result.stats["events_by_lane"])
+        assert result.stats["rows_emitted"] == len(result.rows)
+        assert result.stats["messages_sent"] > 0
+        # Trailing sends from the final window are delivered but their
+        # events never run, so delivered can lag sent by at most that tail.
+        assert result.stats["messages_delivered"] <= result.stats["messages_sent"]
+
+    def test_rows_are_in_canonical_order(self):
+        rows = run(workers=4).rows
+        tags = [(row[0], row[1], row[2]) for row in rows]
+        assert tags == sorted(tags)
+        assert len(set(tags)) == len(tags)
+
+
+class TestFallbacksAndClamps:
+    def test_zero_lookahead_serializes_even_with_workers(self):
+        # Serialized windows across processes would pay IPC per event
+        # time for zero parallelism; the pool is bypassed entirely.
+        result = run(workers=4, lookahead=0.0, program=Quiet)
+        assert result.execution == "serialized"
+        assert result.stats["workers"] == 1
+
+    def test_workers_clamped_to_shard_count(self):
+        result = run(workers=16, shards=2)
+        assert result.execution == "multiprocess"
+        assert result.stats["workers"] == 2
+        assert result.rows == run(workers=1, shards=2).rows
+
+    def test_single_worker_stays_in_process(self):
+        assert run(workers=1).execution == "in-process"
+
+
+class TestFailures:
+    def test_worker_death_surfaces_not_hangs(self):
+        with pytest.raises(WorkerCrashError) as err:
+            run_lane_program(
+                Dies,
+                num_shards=2,
+                lookahead_s=LOOKAHEAD,
+                horizon_s=HORIZON,
+                seed=SEED,
+                workers=2,
+                barrier_timeout_s=30.0,
+            )
+        assert "exit code" in str(err.value)
+
+    def test_remote_exception_carries_traceback(self):
+        with pytest.raises(WorkerCrashError) as err:
+            run(workers=2, program=Raises)
+        assert "lane program exploded deliberately" in str(err.value)
+
+    def test_in_window_send_violates_lookahead_in_process(self):
+        with pytest.raises(ShardViolation):
+            run_lane_program(
+                TooSoon,
+                num_shards=2,
+                lookahead_s=LOOKAHEAD,
+                horizon_s=HORIZON,
+                seed=SEED,
+                workers=1,
+            )
+
+
+class TestValidation:
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_lane_program(Quiet, num_shards=0, lookahead_s=1.0, horizon_s=1.0)
+        with pytest.raises(ValueError):
+            run_lane_program(Quiet, num_shards=1, lookahead_s=-1.0, horizon_s=1.0)
+        with pytest.raises(ValueError):
+            run_lane_program(
+                Quiet, num_shards=1, lookahead_s=1.0, horizon_s=1.0, workers=0
+            )
+        with pytest.raises(SimulationError):
+            run_lane_program(Quiet, num_shards=1, lookahead_s=1.0, horizon_s=-1.0)
+
+    def test_send_outside_event_rejected(self):
+        with pytest.raises(WorkerCrashError) as err:
+            run_lane_program(
+                SendsInSetup,
+                num_shards=2,
+                lookahead_s=LOOKAHEAD,
+                horizon_s=HORIZON,
+                workers=2,
+            )
+        assert "only legal from inside an event" in str(err.value)

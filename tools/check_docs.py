@@ -28,6 +28,13 @@ Two checks, both offline:
   ``#### `rule-id` (severity)`` heading whose severity matches the
   registry, and must not document rule ids that no longer exist.  This
   keeps the rule reference from drifting as rules are added/renamed.
+* **Worker protocol reference** -- ``docs/scaling.md`` must mention
+  every control op of the coordinator<->worker barrier protocol
+  (``repro.shard.workers.CONTROL_OPS``) as a backticked token, and
+  ``docs/tracing.md`` must mention every stats field of a lane-pool run
+  (``repro.shard.workers.STATS_FIELDS``).  Same anti-drift idea as the
+  lint reference: the wire vocabulary and the counters are code-owned
+  constants, and the operator docs may not silently fall behind them.
 
 Exit code 0 when clean, 1 with one ``file:line: message`` row per
 problem otherwise.
@@ -270,6 +277,40 @@ def check_lint_rule_reference(path: str) -> List[str]:
     return problems
 
 
+def check_worker_protocol_reference(path: str) -> List[str]:
+    """docs/scaling.md mentions every barrier-protocol control op."""
+    from repro.shard.workers import CONTROL_OPS
+
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for op in CONTROL_OPS:
+        if f"`{op}`" not in text:
+            problems.append(
+                f"{path}:1: barrier-protocol op {op!r} "
+                "(repro.shard.workers.CONTROL_OPS) is not documented as a "
+                "backticked token"
+            )
+    return problems
+
+
+def check_worker_stats_reference(path: str) -> List[str]:
+    """docs/tracing.md mentions every lane-pool stats field."""
+    from repro.shard.workers import STATS_FIELDS
+
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for field in STATS_FIELDS:
+        if f"`{field}`" not in text:
+            problems.append(
+                f"{path}:1: lane-pool stats field {field!r} "
+                "(repro.shard.workers.STATS_FIELDS) is not documented as a "
+                "backticked token"
+            )
+    return problems
+
+
 def check_file(path: str) -> List[str]:
     """All problems for one markdown file."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -279,8 +320,13 @@ def check_file(path: str) -> List[str]:
         + check_mermaid(path, lines)
         + check_tables(path, lines)
     )
-    if os.path.basename(path) == "lint.md" and "docs" in path.split(os.sep):
+    in_docs = "docs" in path.split(os.sep)
+    if os.path.basename(path) == "lint.md" and in_docs:
         problems += check_lint_rule_reference(path)
+    if os.path.basename(path) == "scaling.md" and in_docs:
+        problems += check_worker_protocol_reference(path)
+    if os.path.basename(path) == "tracing.md" and in_docs:
+        problems += check_worker_stats_reference(path)
     return problems
 
 
