@@ -28,10 +28,9 @@ must stay effectively free.
 from __future__ import annotations
 
 import json
-import multiprocessing
-import os
 import sys
-import time
+
+import harness
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.runner import run_spec
@@ -42,7 +41,7 @@ from repro.faults.plan import FaultPlan
 PROTOCOL = "socialtube"
 REPEATS = 3
 OVERHEAD_BAR_PCT = 3.0
-OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_faults.json")
+OUTPUT = "BENCH_faults.json"
 
 #: Nonzero per ``is_zero`` (so the injector and every runner hook are
 #: live) yet behaviourally inert: factor 1.0 leaves server rates
@@ -51,17 +50,6 @@ OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_faults.json")
 ARMED_INERT_PLAN = FaultPlan(
     brownout_period_s=600.0, brownout_duty=0.5, brownout_factor=1.0
 )
-
-
-def _best_of(fn, repeats: int = REPEATS) -> tuple:
-    """(best wall-clock seconds, last return value) over ``repeats`` calls."""
-    best = float("inf")
-    value = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, value
 
 
 def main() -> int:
@@ -74,9 +62,21 @@ def main() -> int:
     armed = base.with_faults(ARMED_INERT_PLAN)
     chaos = base.with_faults(FaultPlan.demo())
 
-    plain_s, plain = _best_of(lambda: run_spec(base, dataset=dataset))
-    armed_s, armed_result = _best_of(lambda: run_spec(armed, dataset=dataset))
-    chaos_s, chaos_result = _best_of(lambda: run_spec(chaos, dataset=dataset))
+    # Round-robin repeats: the headline is the plain-vs-armed *delta*,
+    # and running the configurations in blocks lets host-speed drift
+    # alone exceed the 3% bar.
+    (
+        (plain_s, plain),
+        (armed_s, armed_result),
+        (chaos_s, chaos_result),
+    ) = harness.best_of_each(
+        [
+            lambda: run_spec(base, dataset=dataset),
+            lambda: run_spec(armed, dataset=dataset),
+            lambda: run_spec(chaos, dataset=dataset),
+        ],
+        repeats=REPEATS,
+    )
 
     if armed_result.metrics.crashes or armed_result.metrics.interrupted_transfers:
         raise AssertionError("the armed-inert plan must never fire a fault")
@@ -92,9 +92,10 @@ def main() -> int:
     hooks_pct = 100.0 * (armed_s - plain_s) / plain_s
     events = plain.events_processed
     payload = {
-        "benchmark": "fault-injection hook overhead (default scale, 2 sessions)",
-        "command": "PYTHONPATH=src python benchmarks/bench_faults.py",
-        "cpu_count": multiprocessing.cpu_count(),
+        **harness.envelope(
+            "fault-injection hook overhead (default scale, 2 sessions)",
+            "PYTHONPATH=src python benchmarks/bench_faults.py",
+        ),
         "run": {
             "protocol": PROTOCOL,
             "num_nodes": config.num_nodes,
@@ -138,19 +139,16 @@ def main() -> int:
             "scheduling, repair sweeps) is real load, not overhead."
         ),
     }
-    with open(OUTPUT, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    path = harness.write_bench(OUTPUT, payload)
 
     print(json.dumps(payload["timings_s"], indent=2))
     print(f"hooks overhead vs no-faults: {payload['hooks_pct_vs_no_faults']}%")
     print(f"chaos vs no-faults: {payload['chaos_pct_vs_no_faults']}%")
-    print(f"wrote {os.path.normpath(OUTPUT)}")
-    if hooks_pct >= OVERHEAD_BAR_PCT:
-        print(
-            f"FAIL: hook overhead {hooks_pct:.2f}% >= {OVERHEAD_BAR_PCT}% bar",
-            file=sys.stderr,
-        )
+    print(f"wrote {path}")
+    if harness.bar(
+        hooks_pct >= OVERHEAD_BAR_PCT,
+        f"hook overhead {hooks_pct:.2f}% >= {OVERHEAD_BAR_PCT}% bar",
+    ):
         return 1
     return 0
 

@@ -25,10 +25,9 @@ on every CI push, so it must stay interactive-fast.
 from __future__ import annotations
 
 import json
-import multiprocessing
-import os
 import sys
-import time
+
+import harness
 
 from repro.lint.baseline import discover_baseline_path, load_baseline
 from repro.lint.program import build_program
@@ -36,27 +35,18 @@ from repro.lint.runner import default_lint_root, lint_paths, render_json
 
 REPEATS = 3
 ANALYSIS_BAR_S = 10.0
-OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_lint.json")
-
-
-def _best_of(fn, repeats: int = REPEATS) -> tuple:
-    """(best wall-clock seconds, last return value) over ``repeats`` calls."""
-    best = float("inf")
-    value = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, value
+OUTPUT = "BENCH_lint.json"
 
 
 def main() -> int:
     root = default_lint_root()
     baseline = load_baseline(discover_baseline_path(root))
 
-    index_s, index = _best_of(lambda: build_program(root))
-    analysis_s, report = _best_of(lambda: lint_paths([root], baseline=baseline))
-    render_s, blob = _best_of(lambda: render_json(report))
+    index_s, index = harness.best_of(lambda: build_program(root), repeats=REPEATS)
+    analysis_s, report = harness.best_of(
+        lambda: lint_paths([root], baseline=baseline), repeats=REPEATS
+    )
+    render_s, blob = harness.best_of(lambda: render_json(report), repeats=REPEATS)
 
     if not report.ok:
         raise AssertionError(
@@ -66,9 +56,10 @@ def main() -> int:
 
     stats = index.stats()
     payload = {
-        "benchmark": "whole-program lint analyzer (full src/repro tree)",
-        "command": "PYTHONPATH=src python benchmarks/bench_lint.py",
-        "cpu_count": multiprocessing.cpu_count(),
+        **harness.envelope(
+            "whole-program lint analyzer (full src/repro tree)",
+            "PYTHONPATH=src python benchmarks/bench_lint.py",
+        ),
         "tree": {
             "files_checked": report.files_checked,
             "modules_indexed": stats["modules"],
@@ -99,18 +90,15 @@ def main() -> int:
             "every push."
         ),
     }
-    with open(OUTPUT, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    path = harness.write_bench(OUTPUT, payload)
 
     print(json.dumps(payload["timings_s"], indent=2))
     print(f"files/s: {payload['throughput_files_per_s']}")
-    print(f"wrote {os.path.normpath(OUTPUT)}")
-    if analysis_s >= ANALYSIS_BAR_S:
-        print(
-            f"FAIL: full analysis {analysis_s:.2f}s >= {ANALYSIS_BAR_S}s bar",
-            file=sys.stderr,
-        )
+    print(f"wrote {path}")
+    if harness.bar(
+        analysis_s >= ANALYSIS_BAR_S,
+        f"full analysis {analysis_s:.2f}s >= {ANALYSIS_BAR_S}s bar",
+    ):
         return 1
     return 0
 

@@ -21,9 +21,9 @@ here too, on top of the tier-1 tests that already pin it.
 from __future__ import annotations
 
 import json
-import multiprocessing
-import os
 import time
+
+import harness
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.parallel import run_sweep, sweep_specs
@@ -32,7 +32,7 @@ from repro.trace.synthesizer import TraceSynthesizer
 
 PROTOCOLS = ("pavod", "nettube", "socialtube")
 SEEDS = (1, 2)
-OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_parallel.json")
+OUTPUT = "BENCH_parallel.json"
 
 
 def main() -> None:
@@ -46,22 +46,20 @@ def main() -> None:
     # Warm the shared cache so both timed paths start from the same state.
     shared_trace_cache.dataset_for(config.trace)
 
-    t0 = time.perf_counter()
-    serial = run_sweep(specs, jobs=1)
-    serial_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    parallel = run_sweep(specs, jobs=2)
-    parallel_s = time.perf_counter() - t0
+    serial_s, serial = harness.best_of(lambda: run_sweep(specs, jobs=1), repeats=1)
+    parallel_s, parallel = harness.best_of(
+        lambda: run_sweep(specs, jobs=2), repeats=1
+    )
 
     if serial != parallel:
         raise AssertionError("jobs=2 diverged from jobs=1 -- determinism broken")
 
     legacy_s = serial_s + (len(specs) - 1) * synthesis_s
     payload = {
-        "benchmark": "parallel multi-seed sweep (quick scale)",
-        "command": "PYTHONPATH=src python benchmarks/bench_parallel.py",
-        "cpu_count": multiprocessing.cpu_count(),
+        **harness.envelope(
+            "parallel multi-seed sweep (quick scale)",
+            "PYTHONPATH=src python benchmarks/bench_parallel.py",
+        ),
         "sweep": {
             "protocols": list(PROTOCOLS),
             "seeds": list(SEEDS),
@@ -86,13 +84,11 @@ def main() -> None:
             "shared corpus once instead of once per run."
         ),
     }
-    with open(OUTPUT, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    path = harness.write_bench(OUTPUT, payload)
 
     print(json.dumps(payload["timings_s"], indent=2))
     print(f"speedup parallel/serial: {payload['speedup']['parallel_vs_serial']}")
-    print(f"wrote {os.path.normpath(OUTPUT)}")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

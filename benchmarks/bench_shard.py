@@ -47,10 +47,10 @@ from __future__ import annotations
 
 import json
 import multiprocessing
-import os
 import random
 import sys
-import time
+
+import harness
 
 from repro.shard.lanes import LaneEngine
 from repro.shard.workers import LaneProgram, run_lane_program
@@ -63,7 +63,7 @@ SHARD_COUNTS = (1, 2, 4)
 SPEEDUP_BAR = 2.0
 REPEATS = 3
 SEED = 2014
-OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_shard.json")
+OUTPUT = "BENCH_shard.json"
 
 #: Multiprocess section: fewer timers, real per-event compute.
 MP_TIMERS = 512
@@ -143,17 +143,6 @@ def run_lanes(num_shards: int) -> int:
     return engine.total_events
 
 
-def _best_of(fn, repeats: int = REPEATS) -> tuple:
-    """(best wall-clock seconds, last return value) over ``repeats`` calls."""
-    best = float("inf")
-    value = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, value
-
-
 def run_pool(workers: int) -> tuple:
     """One multiprocess-section run: (event count, merged rows)."""
     result = run_lane_program(
@@ -172,9 +161,11 @@ def main() -> int:
     events = {}
     for shards in SHARD_COUNTS:
         if shards == 1:
-            seconds, count = _best_of(run_classic)
+            seconds, count = harness.best_of(run_classic, repeats=REPEATS)
         else:
-            seconds, count = _best_of(lambda s=shards: run_lanes(s))
+            seconds, count = harness.best_of(
+                lambda s=shards: run_lanes(s), repeats=REPEATS
+            )
         timings[shards] = seconds
         events[shards] = count
 
@@ -192,7 +183,7 @@ def main() -> int:
     mp_events = {}
     mp_rows = {}
     for workers in WORKER_COUNTS:
-        seconds, (count, rows) = _best_of(
+        seconds, (count, rows) = harness.best_of(
             lambda w=workers: run_pool(w), repeats=MP_REPEATS
         )
         mp_timings[workers] = seconds
@@ -212,12 +203,11 @@ def main() -> int:
     workers_bar_enforced = cpu_count >= 2
 
     payload = {
-        "benchmark": (
+        **harness.envelope(
             "sharded lane-engine throughput vs the classic heap engine "
-            f"({TIMERS} timers, {HORIZON_S:.0f}s horizon)"
+            f"({TIMERS} timers, {HORIZON_S:.0f}s horizon)",
+            "PYTHONPATH=src python benchmarks/bench_shard.py",
         ),
-        "command": "PYTHONPATH=src python benchmarks/bench_shard.py",
-        "cpu_count": cpu_count,
         "run": {
             "timers": TIMERS,
             "lookahead_s": LOOKAHEAD_S,
@@ -282,9 +272,7 @@ def main() -> int:
             ),
         },
     }
-    with open(OUTPUT, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    path = harness.write_bench(OUTPUT, payload)
 
     print(json.dumps(payload["throughput_events_per_s"], indent=2))
     print(f"shards=4 vs shards=1 speedup: {speedup_4x:.2f}x (bar {SPEEDUP_BAR}x)")
@@ -294,21 +282,15 @@ def main() -> int:
         f"(bar {WORKERS_SPEEDUP_BAR}x, "
         f"{'enforced' if workers_bar_enforced else 'recorded only: single core'})"
     )
-    print(f"wrote {os.path.normpath(OUTPUT)}")
-    failed = False
-    if speedup_4x < SPEEDUP_BAR:
-        print(
-            f"FAIL: speedup {speedup_4x:.2f}x < {SPEEDUP_BAR}x bar",
-            file=sys.stderr,
-        )
-        failed = True
-    if workers_bar_enforced and workers_speedup < WORKERS_SPEEDUP_BAR:
-        print(
-            f"FAIL: workers speedup {workers_speedup:.2f}x < "
-            f"{WORKERS_SPEEDUP_BAR}x bar",
-            file=sys.stderr,
-        )
-        failed = True
+    print(f"wrote {path}")
+    failed = harness.bar(
+        speedup_4x < SPEEDUP_BAR,
+        f"speedup {speedup_4x:.2f}x < {SPEEDUP_BAR}x bar",
+    )
+    failed |= harness.bar(
+        workers_bar_enforced and workers_speedup < WORKERS_SPEEDUP_BAR,
+        f"workers speedup {workers_speedup:.2f}x < {WORKERS_SPEEDUP_BAR}x bar",
+    )
     return 1 if failed else 0
 
 

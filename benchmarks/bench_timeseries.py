@@ -27,9 +27,9 @@ Live-vs-replay byte identity is asserted as a side effect.
 from __future__ import annotations
 
 import json
-import multiprocessing
-import os
 import time
+
+import harness
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.runner import run_spec
@@ -42,18 +42,7 @@ from repro.obs.tracer import Tracer
 PROTOCOL = "socialtube"
 WINDOW_S = 600.0
 REPEATS = 3
-OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_timeseries.json")
-
-
-def _best_of(fn, repeats: int = REPEATS) -> tuple:
-    """(best wall-clock seconds, last return value) over ``repeats`` calls."""
-    best = float("inf")
-    value = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, value
+OUTPUT = "BENCH_timeseries.json"
 
 
 def main() -> None:
@@ -61,14 +50,10 @@ def main() -> None:
     spec = ExperimentSpec(protocol=PROTOCOL, config=config)
     dataset = shared_trace_cache.dataset_for(config.trace)  # warm the cache
 
-    untraced_s, untraced = _best_of(lambda: run_spec(spec, dataset=dataset))
-
     def traced_run():
         tracer = Tracer()
         run_spec(spec, dataset=dataset, tracer=tracer)
         return tracer
-
-    traced_s, _tracer = _best_of(traced_run)
 
     def timeseries_run():
         tracer = Tracer(tick_every_s=WINDOW_S)
@@ -77,7 +62,16 @@ def main() -> None:
         run_spec(spec, dataset=dataset, tracer=tracer)
         return tracer, collector
 
-    timeseries_s, (ts_tracer, collector) = _best_of(timeseries_run)
+    # Round-robin repeats so host-speed drift cannot bias the
+    # overhead-vs-untraced deltas toward whichever block ran first.
+    (
+        (untraced_s, untraced),
+        (traced_s, _tracer),
+        (timeseries_s, (ts_tracer, collector)),
+    ) = harness.best_of_each(
+        [lambda: run_spec(spec, dataset=dataset), traced_run, timeseries_run],
+        repeats=REPEATS,
+    )
 
     # The robust headline: feed every recorded row through a fresh
     # collector and time just that.  Run-minus-run deltas bounce with
@@ -108,9 +102,10 @@ def main() -> None:
 
     events = untraced.events_processed
     payload = {
-        "benchmark": "time-series collection overhead (quick scale)",
-        "command": "PYTHONPATH=src python benchmarks/bench_timeseries.py",
-        "cpu_count": multiprocessing.cpu_count(),
+        **harness.envelope(
+            "time-series collection overhead (quick scale)",
+            "PYTHONPATH=src python benchmarks/bench_timeseries.py",
+        ),
         "run": {
             "protocol": PROTOCOL,
             "num_nodes": config.num_nodes,
@@ -154,14 +149,12 @@ def main() -> None:
             "collection does not require it."
         ),
     }
-    with open(OUTPUT, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    path = harness.write_bench(OUTPUT, payload)
 
     print(json.dumps(payload["timings_s"], indent=2))
     print(f"collector feed: {payload['collector_feed']}")
     print(f"overhead vs untraced: {payload['overhead_pct_vs_untraced']}")
-    print(f"wrote {os.path.normpath(OUTPUT)}")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

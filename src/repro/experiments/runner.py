@@ -60,6 +60,7 @@ from repro.net.latency import SERVER_NODE_ID
 from repro.net.message import ChunkSource, LookupResult
 from repro.net.streaming import simulate_playback, simulate_resume
 from repro.net.server import CentralServer
+from repro.obs.perf import NULL_PERF
 from repro.obs.tracer import NULL_TRACER
 from repro.overlay.maintenance import record_link_sample, record_repair_sweep
 from repro.shard.partition import CommunityPartition
@@ -149,6 +150,7 @@ class ExperimentRunner:
         dataset: Optional[TraceDataset] = None,
         environment: Optional[Environment] = None,
         tracer=None,
+        perf=None,
     ):
         if not isinstance(spec, ExperimentSpec):
             raise TypeError(
@@ -209,6 +211,13 @@ class ExperimentRunner:
             )
         else:
             self.scheduler = EventScheduler()
+        # Wall-clock perf telemetry (repro.obs.perf).  NULL_PERF is
+        # falsy, so the engine's hooks reduce to one truthiness check
+        # when perf is off; an armed meter never touches canonical
+        # output -- its readings live only in the sidecar perf report.
+        self.perf = perf if perf is not None else NULL_PERF
+        if self.perf and isinstance(self.scheduler, ShardedScheduler):
+            self.scheduler.perf = self.perf
         # One tracer flows through every substrate; it reads the
         # scheduler's virtual clock so traces are a pure function of the
         # spec (byte-identical across serial and parallel execution).
@@ -845,7 +854,12 @@ class ExperimentRunner:
             self.scheduler.schedule(
                 self.churn.initial_join_delay(), self._start_session, node_id
             )
+        perf = self.perf
+        if perf:
+            perf.run_begin()
         self.scheduler.run()
+        if perf:
+            perf.run_end(self.scheduler.events_processed)
         report = (
             dataclasses.replace(
                 self.scheduler.shard_report(),
@@ -874,14 +888,19 @@ def run_spec(
     dataset: Optional[TraceDataset] = None,
     environment: Optional[Environment] = None,
     tracer=None,
+    perf=None,
 ) -> ExperimentResult:
     """Execute one spec; the canonical single-run entry point.
 
     ``tracer`` (a :class:`repro.obs.tracer.Tracer`) records the run as
     a deterministic trace; the default NULL_TRACER keeps every hook a
     no-op.  See :mod:`repro.obs.export` for turning a traced run into
-    JSONL + a profile summary.
+    JSONL + a profile summary.  ``perf`` (a
+    :class:`repro.obs.perf.PerfMeter`) arms wall-clock telemetry; the
+    default NULL_PERF keeps the perf hooks inert, and an armed meter is
+    hash-neutral -- same rows, same trace bytes, same content hash (see
+    :mod:`repro.obs.perf_report`).
     """
     return ExperimentRunner(
-        spec, dataset=dataset, environment=environment, tracer=tracer
+        spec, dataset=dataset, environment=environment, tracer=tracer, perf=perf
     ).run()

@@ -5,16 +5,30 @@
 * :mod:`repro.obs.export` -- canonical JSONL trace export keyed by
   ``ExperimentSpec.content_hash`` plus the profile summary behind
   ``python -m repro profile``.
+* :mod:`repro.obs.perf` -- the sanctioned wall-clock telemetry layer
+  (hash-neutral, inert behind the falsy :data:`NULL_PERF`), and
+  :mod:`repro.obs.perf_report` -- the sidecar perf report behind
+  ``python -m repro perf``.
 
-This ``__init__`` deliberately re-exports only the tracer primitives:
-:mod:`repro.obs.export` pulls in the experiment runner, and the
-substrates (``sim.engine`` et al.) import the tracer, so importing the
-export layer here would create a cycle.  Import it explicitly::
+This ``__init__`` deliberately re-exports only the leaf primitives:
+:mod:`repro.obs.export` and :mod:`repro.obs.perf_report` pull in the
+experiment runner, and the substrates (``sim.engine`` et al.) import
+the tracer/perf layers, so importing the report layers here would
+create a cycle.  Import them explicitly::
 
-    from repro.obs import Tracer, NULL_TRACER
+    from repro.obs import Tracer, NULL_TRACER, PerfMeter, NULL_PERF
     from repro.obs.export import run_profiled
+    from repro.obs.perf_report import run_perf
 """
 
+from repro.obs.perf import (
+    NULL_PERF,
+    PERF_SCHEMA_VERSION,
+    LanePerf,
+    NullPerfMeter,
+    PerfMeter,
+    PoolPerf,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     TRACE_SCHEMA_VERSION,
@@ -24,9 +38,15 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "NULL_PERF",
     "NULL_TRACER",
+    "PERF_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
+    "LanePerf",
+    "NullPerfMeter",
     "NullTracer",
+    "PerfMeter",
+    "PoolPerf",
     "SpanHandle",
     "Tracer",
 ]

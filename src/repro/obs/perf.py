@@ -1,0 +1,476 @@
+"""Wall-clock performance telemetry: armed-opt-in, inert-by-default.
+
+Every other observability layer in this tree is deliberately
+sim-clock-only -- traces, time-series, metrics are pure functions of
+the :class:`repro.experiments.spec.ExperimentSpec` and byte-identical
+across machines.  This module is the one sanctioned home of the *other*
+clock: it measures where **wall** time goes (events/s, per-phase
+hotspots, lane busy/idle/barrier-wait breakdowns) so the ROADMAP's
+"make the engine fast" work has numbers to aim at.
+
+Three rules keep the determinism story intact:
+
+1. **Hash-neutral by construction.**  Wall-clock readings live only in
+   the sidecar perf report (:mod:`repro.obs.perf_report`), keyed by the
+   spec's ``content_hash`` -- never in canonical rows, traces, or
+   hashes.  Arming a :class:`PerfMeter` must not change a single byte
+   of canonical output (``tests/test_obs_perf.py`` diffs it).
+2. **Zero-cost when off.**  :data:`NULL_PERF` mirrors the
+   :data:`repro.obs.tracer.NULL_TRACER` discipline: it is falsy, so
+   every hook in the engine and the worker pool reduces to one
+   truthiness check (``if perf: ...``) on the inert path.
+3. **Lint-sanctioned namespace.**  The ``wall-clock`` analyzer rule
+   bans ``time.perf_counter`` and friends everywhere *except* this
+   module (mirroring how ``faults.*`` owns its RNG namespace); other
+   modules obtain wall time only through a perf object handed to them.
+
+Example::
+
+    meter = PerfMeter()
+    meter.attach(tracer)                  # tee: observes every trace row
+    result = run_spec(spec, tracer=tracer, perf=meter)
+    print(meter.events_per_s(), meter.hotspots(5))
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Bumped whenever the perf-report shape changes, mirroring the trace
+#: schema discipline so stale perf artifacts can never be misread.
+PERF_SCHEMA_VERSION = 1
+
+#: Top-level keys of the worker-pool section of a perf report
+#: (:meth:`PoolPerf.finalize`).  Documented in docs/performance.md
+#: (cross-checked by tools/check_docs.py).
+POOL_PERF_FIELDS: Tuple[str, ...] = (
+    "execution",
+    "workers",
+    "wall_s",
+    "lanes",
+    "worker_utilization",
+    "coordinator",
+)
+
+
+class NullPerfMeter:
+    """The zero-cost disabled perf meter.
+
+    Implements the armed :class:`PerfMeter` surface with no-op bodies
+    and evaluates as *false*, so hot paths guard wall-clock sampling
+    with a single truthiness check (``if perf:``) and pay nothing when
+    perf is off.  There is one shared instance, :data:`NULL_PERF`; it
+    holds no state and is safe to share across schedulers and runs.
+    """
+
+    __slots__ = ()
+
+    #: Mirrors :attr:`PerfMeter.enabled`; always False here.
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def attach(self, tracer: Any) -> None:
+        """No-op; the null meter never observes trace rows."""
+
+    def run_begin(self) -> None:
+        """No-op; the null meter never reads a clock."""
+
+    def run_end(self, events: int) -> None:
+        """No-op; accepts and discards the engine's event count."""
+
+    def lane_event_begin(self) -> float:
+        """No-op begin; returns 0.0 (accepted by :meth:`lane_event_end`)."""
+        return 0.0
+
+    def lane_event_end(self, shard: int, began: float) -> None:
+        """No-op end; tolerates the 0.0 its begins hand out."""
+
+
+#: The shared do-nothing perf meter every hook site defaults to.
+NULL_PERF = NullPerfMeter()
+
+
+class PerfMeter:
+    """Engine-side wall-clock meter: throughput plus hotspot attribution.
+
+    Two independent feeds:
+
+    * :meth:`attach` installs a pass-through tee on a
+      :class:`repro.obs.tracer.Tracer` sink, charging the wall-clock
+      delta since the previous row to the current row's span/event name
+      -- sampling attribution at the trace's own span boundaries, so
+      the sim-clock trace itself is untouched.  Any previously
+      installed sink (the time-series collector) keeps receiving every
+      row.
+    * :meth:`lane_event_begin` / :meth:`lane_event_end` bracket one
+      sharded-scheduler event, accumulating per-shard busy wall time
+      for the lane-utilization view.
+
+    :meth:`run_begin` / :meth:`run_end` bracket the whole event loop
+    for the headline events/s number.
+    """
+
+    __slots__ = (
+        "_run_began",
+        "_wall_s",
+        "_events",
+        "_rows",
+        "_by_name",
+        "_span_names",
+        "_last_row_t",
+        "_lane_busy",
+        "_lane_events",
+    )
+
+    #: Mirrors :attr:`NullPerfMeter.enabled`; always True here.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._run_began: Optional[float] = None
+        self._wall_s = 0.0
+        self._events = 0
+        self._rows = 0
+        #: name -> [row count, attributed wall seconds]
+        self._by_name: Dict[str, List[Any]] = {}
+        self._span_names: Dict[int, str] = {}
+        self._last_row_t: Optional[float] = None
+        self._lane_busy: Dict[int, float] = {}
+        self._lane_events: Dict[int, int] = {}
+
+    # -- clock ---------------------------------------------------------------
+
+    @staticmethod
+    def clock() -> float:
+        """The wall clock every perf consumer reads (monotonic seconds).
+
+        This is the only sanctioned wall-clock source in the tree; the
+        lint ``wall-clock`` rule bans direct reads everywhere else.
+        """
+        return time.perf_counter()
+
+    # -- tracer tee ----------------------------------------------------------
+
+    def attach(self, tracer: Any) -> None:
+        """Install the observing tee on ``tracer``'s row sink.
+
+        The previous sink (if any -- e.g. the time-series collector)
+        is chained after the meter's observer, so downstream consumers
+        see exactly the rows they would have seen unarmed, in the same
+        order.  Rows are never mutated.
+        """
+        previous: Optional[Callable[[Dict[str, Any]], None]] = getattr(
+            tracer, "_sink", None
+        )
+        observe = self._observe_row
+        if previous is None:
+            tracer.set_sink(observe)
+            return
+
+        def tee(row: Dict[str, Any]) -> None:
+            """Observe the row, then forward it to the prior sink."""
+            observe(row)
+            previous(row)
+
+        tracer.set_sink(tee)
+
+    def _observe_row(self, row: Dict[str, Any]) -> None:
+        """Charge the wall delta since the previous row to this row's name.
+
+        ``span_end`` rows carry no name; they resolve through the
+        span-id map recorded at ``span_begin``, which makes the
+        attribution robust to detached spans ending out of order.
+        """
+        now = time.perf_counter()
+        last = self._last_row_t
+        self._last_row_t = now
+        kind = row.get("kind")
+        if kind == "span_begin":
+            name = row["name"]
+            self._span_names[row["span"]] = name
+        elif kind == "span_end":
+            name = self._span_names.get(row["span"], "span_end")
+        else:
+            name = row.get("name") or str(kind)
+        entry = self._by_name.get(name)
+        if entry is None:
+            entry = [0, 0.0]
+            self._by_name[name] = entry
+        entry[0] += 1
+        if last is not None:
+            entry[1] += now - last
+        self._rows += 1
+
+    # -- run bracket ---------------------------------------------------------
+
+    def run_begin(self) -> None:
+        """Mark the start of the event loop (called by the runner)."""
+        self._run_began = time.perf_counter()
+        self._last_row_t = self._run_began
+
+    def run_end(self, events: int) -> None:
+        """Mark the end of the event loop; record its event count."""
+        if self._run_began is not None:
+            self._wall_s += time.perf_counter() - self._run_began
+            self._run_began = None
+        self._events += int(events)
+
+    # -- sharded-scheduler lane hooks ----------------------------------------
+
+    def lane_event_begin(self) -> float:
+        """Timestamp one sharded event's start; pair with
+        :meth:`lane_event_end`."""
+        return time.perf_counter()
+
+    def lane_event_end(self, shard: int, began: float) -> None:
+        """Accumulate one sharded event's wall time against its shard."""
+        self._lane_busy[shard] = self._lane_busy.get(shard, 0.0) + (
+            time.perf_counter() - began
+        )
+        self._lane_events[shard] = self._lane_events.get(shard, 0) + 1
+
+    # -- read-out ------------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        """Wall seconds spent inside the event loop."""
+        return self._wall_s
+
+    @property
+    def events(self) -> int:
+        """Engine events processed between run_begin and run_end."""
+        return self._events
+
+    @property
+    def rows(self) -> int:
+        """Trace rows observed by the tee."""
+        return self._rows
+
+    def events_per_s(self) -> float:
+        """Headline throughput: engine events per wall second."""
+        return self._events / self._wall_s if self._wall_s > 0 else 0.0
+
+    def rows_per_s(self) -> float:
+        """Trace rows emitted per wall second."""
+        return self._rows / self._wall_s if self._wall_s > 0 else 0.0
+
+    def hotspots(self, top_k: int = 10) -> List[Dict[str, Any]]:
+        """Top-K span/event names by attributed wall time.
+
+        Each entry is ``{"name", "rows", "wall_s", "share"}`` where
+        ``share`` is the fraction of all *attributed* wall time (ties
+        break on name, so the ranking is stable for equal timings).
+        """
+        total = sum(entry[1] for entry in self._by_name.values())
+        ranked = sorted(
+            self._by_name.items(), key=lambda item: (-item[1][1], item[0])
+        )
+        return [
+            {
+                "name": name,
+                "rows": entry[0],
+                "wall_s": entry[1],
+                "share": entry[1] / total if total > 0 else 0.0,
+            }
+            for name, entry in ranked[: max(0, int(top_k))]
+        ]
+
+    def lanes(self) -> List[Dict[str, Any]]:
+        """Per-shard busy wall time collected by the lane hooks.
+
+        Empty on unsharded runs (the classic engine carries no lane
+        hooks; callers synthesize one lane from the engine totals).
+        """
+        return [
+            {
+                "lane": shard,
+                "events": self._lane_events.get(shard, 0),
+                "busy_s": self._lane_busy[shard],
+            }
+            for shard in sorted(self._lane_busy)
+        ]
+
+
+class LanePerf:
+    """Worker-process-side perf accumulator for the lane pool.
+
+    One instance lives inside each worker process (or one total for
+    in-process execution), timing lane windows and barrier deliveries.
+    :meth:`snapshot` reduces it to a plain dict that rides back to the
+    coordinator on the final ``stats`` control frame -- pickle-safe,
+    no live objects cross the pipe.
+    """
+
+    __slots__ = ("_started", "_busy_by_lane", "_deliver_s", "_delivered")
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self._busy_by_lane: Dict[int, float] = {}
+        self._deliver_s = 0.0
+        self._delivered = 0
+
+    @staticmethod
+    def clock() -> float:
+        """Monotonic wall clock for bracketing lane work."""
+        return time.perf_counter()
+
+    def add_busy(self, lane_index: int, began: float) -> None:
+        """Charge wall time since ``began`` to one lane's busy total."""
+        self._busy_by_lane[lane_index] = self._busy_by_lane.get(
+            lane_index, 0.0
+        ) + (time.perf_counter() - began)
+
+    def add_deliver(self, began: float, messages: int) -> None:
+        """Charge one barrier-delivery batch (wall time + message count)."""
+        self._deliver_s += time.perf_counter() - began
+        self._delivered += int(messages)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict reduction for the ``stats`` control frame."""
+        return {
+            "wall_s": time.perf_counter() - self._started,
+            "busy_s_by_lane": dict(self._busy_by_lane),
+            "deliver_s": self._deliver_s,
+            "messages_delivered": self._delivered,
+        }
+
+
+class PoolPerf:
+    """Coordinator-side perf accumulator for the lane pool.
+
+    Armed by passing an instance to
+    :func:`repro.shard.workers.run_lane_program`; the coordinator times
+    its barrier waits, mailbox routing (batch sizes and pickled pipe
+    payload bytes), and the canonical row merge, then
+    :meth:`finalize` folds everything -- including the per-worker
+    :class:`LanePerf` snapshots -- into the :data:`POOL_PERF_FIELDS`
+    dict that answers "are 4 workers spending 4 cores?".
+    """
+
+    __slots__ = (
+        "_started",
+        "_barrier_wait_s",
+        "_merge_s",
+        "_deliver_batches",
+        "_deliver_messages",
+        "_pipe_payload_bytes",
+    )
+
+    #: PoolPerf is always armed; the inert path passes ``perf=None``.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self._barrier_wait_s = 0.0
+        self._merge_s = 0.0
+        self._deliver_batches: List[int] = []
+        self._deliver_messages = 0
+        self._pipe_payload_bytes = 0
+
+    def __bool__(self) -> bool:
+        return True
+
+    @staticmethod
+    def clock() -> float:
+        """Monotonic wall clock for bracketing coordinator work."""
+        return time.perf_counter()
+
+    def lane_perf(self) -> LanePerf:
+        """A fresh worker-side accumulator (in-process mode uses one)."""
+        return LanePerf()
+
+    def add_barrier_wait(self, began: float) -> None:
+        """Charge wall time since ``began`` to barrier-reply waiting."""
+        self._barrier_wait_s += time.perf_counter() - began
+
+    def add_merge(self, began: float) -> None:
+        """Charge wall time since ``began`` to the canonical row merge."""
+        self._merge_s += time.perf_counter() - began
+
+    def record_deliver(self, routed: List[List[Any]]) -> None:
+        """Record one barrier's routed mailbox batches.
+
+        ``routed`` is the per-worker message batch list; batch sizes
+        and pickled payload bytes quantify pipe pressure.  Pickling
+        here is measurement overhead the armed path accepts -- the
+        inert path never reaches this method.
+        """
+        for batch in routed:
+            if not batch:
+                continue
+            self._deliver_batches.append(len(batch))
+            self._deliver_messages += len(batch)
+            self._pipe_payload_bytes += len(
+                pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+
+    def finalize(
+        self,
+        stats: Dict[str, Any],
+        lane_stats: List[Tuple[int, int, int, int]],
+        worker_snapshots: List[Optional[Dict[str, Any]]],
+        assignments: Optional[List[List[int]]] = None,
+    ) -> Dict[str, Any]:
+        """Fold everything into the :data:`POOL_PERF_FIELDS` dict.
+
+        ``stats`` is the run's :data:`repro.shard.workers.STATS_FIELDS`
+        payload, ``lane_stats`` the per-lane counter tuples,
+        ``worker_snapshots`` one :meth:`LanePerf.snapshot` per worker
+        (None when a worker carried no accumulator), ``assignments``
+        the lane->worker layout (None for in-process execution).
+        """
+        wall_s = time.perf_counter() - self._started
+        busy_by_lane: Dict[int, float] = {}
+        for snapshot in worker_snapshots:
+            if snapshot:
+                for lane, busy in snapshot["busy_s_by_lane"].items():
+                    busy_by_lane[int(lane)] = busy_by_lane.get(int(lane), 0.0) + busy
+        lanes = [
+            {
+                "lane": index,
+                "events": events,
+                "messages_sent": sent,
+                "rows": emitted,
+                "busy_s": busy_by_lane.get(index, 0.0),
+            }
+            for index, events, sent, emitted in sorted(lane_stats)
+        ]
+        if assignments is None:
+            assignments = [[entry["lane"] for entry in lanes]]
+        utilization = []
+        for worker, lane_indices in enumerate(assignments):
+            snapshot = (
+                worker_snapshots[worker] if worker < len(worker_snapshots) else None
+            )
+            busy = sum(busy_by_lane.get(index, 0.0) for index in lane_indices)
+            worker_wall = snapshot["wall_s"] if snapshot else wall_s
+            utilization.append(
+                {
+                    "worker": worker,
+                    "lanes": list(lane_indices),
+                    "wall_s": worker_wall,
+                    "busy_s": busy,
+                    "deliver_s": snapshot["deliver_s"] if snapshot else 0.0,
+                    "idle_s": max(0.0, worker_wall - busy),
+                    "utilization": busy / worker_wall if worker_wall > 0 else 0.0,
+                }
+            )
+        batches = self._deliver_batches
+        return {
+            "execution": stats["execution"],
+            "workers": stats["workers"],
+            "wall_s": wall_s,
+            "lanes": lanes,
+            "worker_utilization": utilization,
+            "coordinator": {
+                "barrier_wait_s": self._barrier_wait_s,
+                "merge_s": self._merge_s,
+                "deliver_batches": len(batches),
+                "max_batch_messages": max(batches) if batches else 0,
+                "deliver_messages": self._deliver_messages,
+                "pipe_payload_bytes": self._pipe_payload_bytes,
+            },
+        }

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs.perf import NULL_PERF
 from repro.shard.mailbox import Mailbox
 from repro.sim.engine import Event, EventScheduler, SimulationError
 
@@ -88,6 +89,11 @@ class ShardReport:
             f"    mailbox: {self.messages_sent} cross-shard messages, "
             f"{self.lookahead_violations} lookahead violations"
         )
+        busiest = sorted(
+            self.messages_by_pair, key=lambda pair: (-pair[2], pair[0], pair[1])
+        )[:5]
+        for origin, dest, count in busiest:
+            rows.append(f"    pair {origin}->{dest}: {count} messages")
         return rows
 
 
@@ -125,6 +131,10 @@ class ShardedScheduler:
         self.windows = 0
         self.events_by_shard = [0] * num_shards
         self._stopped = False
+        #: Wall-clock meter (repro.obs.perf); the falsy NULL_PERF keeps
+        #: the per-event hook in _fire a single truthiness check.  Its
+        #: readings never enter rows or hashes -- sidecar report only.
+        self.perf = NULL_PERF
 
     # -- protocol surface: clock, queue, accounting -------------------------
 
@@ -217,9 +227,13 @@ class ShardedScheduler:
         previous = self._current_shard
         self._current_shard = dest
         self.events_by_shard[dest] += 1
+        perf = self.perf
+        began = perf.lane_event_begin() if perf else 0.0
         try:
             fn(*args)
         finally:
+            if perf:
+                perf.lane_event_end(dest, began)
             self._current_shard = previous
 
     # -- Event handle back ends (duck-typed from Event) ---------------------

@@ -69,6 +69,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.perf import LanePerf, PoolPerf
 from repro.shard.mailbox import ShardMessage, ShardViolation, canonical_order
 from repro.sim.engine import SimulationError
 from repro.sim.rng import RngStreams
@@ -375,6 +376,11 @@ class LaneRunResult:
 
     rows: List[Tuple[Any, ...]] = field(default_factory=list)
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock pool introspection (repro.obs.perf.POOL_PERF_FIELDS)
+    #: when the run was armed with a PoolPerf, else None.  Deliberately
+    #: a separate field from ``stats``: stats is part of the byte-parity
+    #: surface across execution modes; perf legitimately differs per run.
+    perf: Optional[Dict[str, Any]] = None
 
     @property
     def execution(self) -> str:
@@ -410,15 +416,19 @@ def _worker_main(
     lookahead_s: float,
     seed: int,
     program_factory: Callable[[], LaneProgram],
+    perf_enabled: bool = False,
 ) -> None:
     """Entry point of one pool worker: serve barrier rounds until ``stop``.
 
     Every reply is one of :data:`CONTROL_OPS`.  Any exception -- in the
     program, the lane, or the protocol -- is reported as an ``error``
     frame carrying the traceback, then the worker exits; the coordinator
-    turns that into a :class:`WorkerCrashError`.
+    turns that into a :class:`WorkerCrashError`.  ``perf_enabled`` arms
+    a :class:`repro.obs.perf.LanePerf` whose snapshot rides back on the
+    final ``stats`` frame; the inert path takes no timestamps.
     """
     try:
+        lane_perf = LanePerf() if perf_enabled else None
         lanes = _build_lanes(
             lane_indices, num_shards, lookahead_s, seed, program_factory
         )
@@ -428,8 +438,11 @@ def _worker_main(
             frame = conn.recv()
             op = frame[0]
             if op == "deliver":
+                began = lane_perf.clock() if lane_perf else 0.0
                 for message in frame[1]:
                     by_index[message.dest_shard].deliver(message)
+                if lane_perf:
+                    lane_perf.add_deliver(began, len(frame[1]))
                 conn.send(
                     ("delivered", [(l.index, l.next_window_key()) for l in lanes])
                 )
@@ -438,7 +451,10 @@ def _worker_main(
                 outgoing: List[ShardMessage] = []
                 rows: List[Tuple[Any, ...]] = []
                 for lane in lanes:
+                    began = lane_perf.clock() if lane_perf else 0.0
                     lane.run_window(window)
+                    if lane_perf:
+                        lane_perf.add_busy(lane.index, began)
                     outgoing.extend(lane.take_outbox())
                     rows.extend(lane.take_rows())
                 conn.send(
@@ -450,7 +466,13 @@ def _worker_main(
                     )
                 )
             elif op == "stop":
-                conn.send(("stats", [lane.lane_stats() for lane in lanes]))
+                conn.send(
+                    (
+                        "stats",
+                        [lane.lane_stats() for lane in lanes],
+                        lane_perf.snapshot() if lane_perf else None,
+                    )
+                )
                 conn.close()
                 return
             else:  # pragma: no cover - defensive: unknown coordinator frame
@@ -481,6 +503,7 @@ class _ProcessPool:
         seed: int,
         program_factory: Callable[[], LaneProgram],
         timeout_s: float,
+        perf_enabled: bool = False,
     ):
         self.timeout_s = timeout_s
         self.assignments = assignments
@@ -497,6 +520,7 @@ class _ProcessPool:
                     lookahead_s,
                     seed,
                     program_factory,
+                    perf_enabled,
                 ),
                 daemon=True,
             )
@@ -549,17 +573,23 @@ class _ProcessPool:
                 proc.terminate()
             proc.join(timeout=5.0)
 
-    def shutdown(self) -> List[Tuple[int, int, int, int]]:
-        """Graceful stop: collect per-lane stats, join every worker."""
+    def shutdown(
+        self,
+    ) -> Tuple[List[Tuple[int, int, int, int]], List[Optional[Dict[str, Any]]]]:
+        """Graceful stop: collect per-lane stats (and, when armed, each
+        worker's :class:`repro.obs.perf.LanePerf` snapshot), join every
+        worker."""
         stats: List[Tuple[int, int, int, int]] = []
+        snapshots: List[Optional[Dict[str, Any]]] = []
         for worker in range(len(self.procs)):
             self.send(worker, ("stop",))
         for worker in range(len(self.procs)):
             frame = self.recv(worker)
             stats.extend(frame[1])
+            snapshots.append(frame[2] if len(frame) > 2 else None)
         for proc in self.procs:
             proc.join(timeout=5.0)
-        return stats
+        return stats, snapshots
 
 
 def _round_robin(num_shards: int, workers: int) -> List[List[int]]:
@@ -612,12 +642,19 @@ def _run_multiprocess(
     seed: int,
     workers: int,
     timeout_s: float,
+    perf: Optional[PoolPerf] = None,
 ) -> LaneRunResult:
     """The windowed barrier loop over a live process pool."""
     assignments = _round_robin(num_shards, workers)
     owner = {k: k % workers for k in range(num_shards)}
     pool = _ProcessPool(
-        assignments, num_shards, lookahead_s, seed, program_factory, timeout_s
+        assignments,
+        num_shards,
+        lookahead_s,
+        seed,
+        program_factory,
+        timeout_s,
+        perf_enabled=bool(perf),
     )
     try:
         next_key: Dict[int, Optional[float]] = {}
@@ -638,11 +675,16 @@ def _run_multiprocess(
             routed: List[List[ShardMessage]] = [[] for _ in range(workers)]
             for message in batch:
                 routed[owner[message.dest_shard]].append(message)
+            if perf:
+                perf.record_deliver(routed)
             for worker in range(workers):
                 pool.send(worker, ("deliver", routed[worker]))
+            began = perf.clock() if perf else 0.0
             for worker in range(workers):
                 frame = pool.recv(worker)
                 next_key.update(dict(frame[1]))
+            if perf:
+                perf.add_barrier_wait(began)
 
         while True:
             if pending:
@@ -653,30 +695,43 @@ def _run_multiprocess(
             window = int(keys[0])
             for worker in range(workers):
                 pool.send(worker, ("run", window))
+            began = perf.clock() if perf else 0.0
             for worker in range(workers):
                 frame = pool.recv(worker)
                 pending.extend(frame[1])
                 rows.extend(frame[2])
                 next_key.update(dict(frame[3]))
+            if perf:
+                perf.add_barrier_wait(began)
             windows += 1
         if pending:
             # Final barrier: last-window sends still reach their
             # destination programs (their events just never run).
             barrier_deliver()
-        lane_stats = pool.shutdown()
+        lane_stats, snapshots = pool.shutdown()
     except BaseException:
         pool.terminate()
         raise
+    began = perf.clock() if perf else 0.0
+    merged = _merge_rows(rows)
+    if perf:
+        perf.add_merge(began)
+    stats = _stats_payload(
+        "multiprocess",
+        workers,
+        num_shards,
+        lookahead_s,
+        windows,
+        lane_stats,
+        delivered,
+    )
     return LaneRunResult(
-        rows=_merge_rows(rows),
-        stats=_stats_payload(
-            "multiprocess",
-            workers,
-            num_shards,
-            lookahead_s,
-            windows,
-            lane_stats,
-            delivered,
+        rows=merged,
+        stats=stats,
+        perf=(
+            perf.finalize(stats, lane_stats, snapshots, assignments)
+            if perf
+            else None
         ),
     )
 
@@ -687,11 +742,13 @@ def _run_in_process(
     lookahead_s: float,
     horizon_s: float,
     seed: int,
+    perf: Optional[PoolPerf] = None,
 ) -> LaneRunResult:
     """The same barrier loop over local lanes (reference implementation)."""
     lanes = _build_lanes(
         list(range(num_shards)), num_shards, lookahead_s, seed, program_factory
     )
+    lane_perf = perf.lane_perf() if perf else None
     pending: List[ShardMessage] = []
     rows: List[Tuple[Any, ...]] = []
     windows = 0
@@ -703,8 +760,21 @@ def _run_in_process(
         batch = canonical_order(pending)
         pending = []
         delivered += len(batch)
+        began = lane_perf.clock() if lane_perf else 0.0
         for message in batch:
             lanes[message.dest_shard].deliver(message)
+        if lane_perf:
+            lane_perf.add_deliver(began, len(batch))
+
+    def run_lane(lane: WorkerLane, key: float) -> None:
+        """Advance one lane a window (or serialized instant), timed when armed."""
+        began = lane_perf.clock() if lane_perf else 0.0
+        if serialized:
+            lane.run_at(key)
+        else:
+            lane.run_window(int(key))
+        if lane_perf:
+            lane_perf.add_busy(lane.index, began)
 
     while True:
         if pending:
@@ -713,29 +783,42 @@ def _run_in_process(
         if serialized:
             if not keys or keys[0] > horizon_s:
                 break
-            for lane in lanes:
-                lane.run_at(keys[0])
         else:
             if not keys or keys[0] * lookahead_s >= horizon_s:
                 break
-            for lane in lanes:
-                lane.run_window(int(keys[0]))
+        for lane in lanes:
+            run_lane(lane, keys[0])
         for lane in lanes:
             pending.extend(lane.take_outbox())
             rows.extend(lane.take_rows())
         windows += 1
     if pending:
         barrier_deliver()
+    lane_stats = [lane.lane_stats() for lane in lanes]
+    began = perf.clock() if perf else 0.0
+    merged = _merge_rows(rows)
+    if perf:
+        perf.add_merge(began)
+    stats = _stats_payload(
+        "serialized" if serialized else "in-process",
+        1,
+        num_shards,
+        lookahead_s,
+        windows,
+        lane_stats,
+        delivered,
+    )
     return LaneRunResult(
-        rows=_merge_rows(rows),
-        stats=_stats_payload(
-            "serialized" if serialized else "in-process",
-            1,
-            num_shards,
-            lookahead_s,
-            windows,
-            [lane.lane_stats() for lane in lanes],
-            delivered,
+        rows=merged,
+        stats=stats,
+        perf=(
+            perf.finalize(
+                stats,
+                lane_stats,
+                [lane_perf.snapshot() if lane_perf else None],
+            )
+            if perf
+            else None
         ),
     )
 
@@ -748,6 +831,7 @@ def run_lane_program(
     seed: int = 0,
     workers: int = 1,
     barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
+    perf: Optional[PoolPerf] = None,
 ) -> LaneRunResult:
     """Run one :class:`LaneProgram` per shard up to ``horizon_s``.
 
@@ -758,6 +842,12 @@ def run_lane_program(
     execution (every event time is a barrier -- there is no parallelism
     to extract, only pipe overhead to pay).  ``workers`` above
     ``num_shards`` is clamped: a lane is the unit of placement.
+
+    ``perf`` (a :class:`repro.obs.perf.PoolPerf`) arms wall-clock pool
+    introspection -- lane busy time, barrier waits, pipe payload bytes,
+    merge time -- surfaced on :attr:`LaneRunResult.perf`.  Armed or
+    not, ``rows`` and ``stats`` are byte-identical: wall-clock readings
+    never touch the parity surface.
 
     Example::
 
@@ -791,7 +881,8 @@ def run_lane_program(
             seed,
             workers,
             barrier_timeout_s,
+            perf=perf,
         )
     return _run_in_process(
-        program_factory, num_shards, lookahead_s, horizon_s, seed
+        program_factory, num_shards, lookahead_s, horizon_s, seed, perf=perf
     )

@@ -35,6 +35,12 @@ Two checks, both offline:
   (``repro.shard.workers.STATS_FIELDS``).  Same anti-drift idea as the
   lint reference: the wire vocabulary and the counters are code-owned
   constants, and the operator docs may not silently fall behind them.
+* **Perf report reference** -- ``docs/performance.md`` must mention
+  every top-level field of the sidecar perf report
+  (``repro.obs.perf_report.PERF_REPORT_FIELDS``) and every section of
+  its pool breakdown (``repro.obs.perf.POOL_PERF_FIELDS``) as
+  backticked tokens, so the telemetry guide tracks the schema it
+  documents.
 
 Exit code 0 when clean, 1 with one ``file:line: message`` row per
 problem otherwise.
@@ -311,6 +317,31 @@ def check_worker_stats_reference(path: str) -> List[str]:
     return problems
 
 
+def check_perf_field_reference(path: str) -> List[str]:
+    """docs/performance.md mentions every perf-report and pool field."""
+    from repro.obs.perf import POOL_PERF_FIELDS
+    from repro.obs.perf_report import PERF_REPORT_FIELDS
+
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for field in PERF_REPORT_FIELDS:
+        if f"`{field}`" not in text:
+            problems.append(
+                f"{path}:1: perf report field {field!r} "
+                "(repro.obs.perf_report.PERF_REPORT_FIELDS) is not "
+                "documented as a backticked token"
+            )
+    for field in POOL_PERF_FIELDS:
+        if f"`{field}`" not in text:
+            problems.append(
+                f"{path}:1: pool perf section {field!r} "
+                "(repro.obs.perf.POOL_PERF_FIELDS) is not documented as a "
+                "backticked token"
+            )
+    return problems
+
+
 def check_file(path: str) -> List[str]:
     """All problems for one markdown file."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -327,6 +358,8 @@ def check_file(path: str) -> List[str]:
         problems += check_worker_protocol_reference(path)
     if os.path.basename(path) == "tracing.md" and in_docs:
         problems += check_worker_stats_reference(path)
+    if os.path.basename(path) == "performance.md" and in_docs:
+        problems += check_perf_field_reference(path)
     return problems
 
 
