@@ -76,7 +76,9 @@ class GridCastProtocol(VodProtocol):
         holders = [
             h
             for h in self._replicas.get(video_id, ())
-            if h != user_id and self.is_online_holder(h, video_id)
+            if h != user_id
+            and self.can_reach(user_id, h)
+            and self.is_online_holder(h, video_id)
         ]
         if holders:
             candidates = (

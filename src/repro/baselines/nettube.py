@@ -83,7 +83,7 @@ class NetTubeProtocol(VodProtocol):
         seen: Dict[int, None] = {}
         for video_id in self._memberships.get(node_id, ()):
             for neighbor in self._overlay(video_id).neighbors(node_id):
-                if self._is_alive(neighbor):
+                if self._is_alive(neighbor) and self.can_reach(node_id, neighbor):
                     seen[neighbor] = None
         return list(seen)
 
@@ -174,7 +174,9 @@ class NetTubeProtocol(VodProtocol):
                 video_id, 2, exclude=user_id
             )
             for member in members:
-                if self.is_online_holder(member, video_id):
+                if self.can_reach(user_id, member) and self.is_online_holder(
+                    member, video_id
+                ):
                     return LookupResult(
                         video_id=video_id,
                         provider_id=member,
@@ -238,6 +240,22 @@ class NetTubeProtocol(VodProtocol):
                     break
                 if self._is_alive(pick):
                     table.connect(user_id, pick, evict=False)
+
+    def reannounce(self, user_id: int) -> int:
+        """Tracker recovery: re-file presence plus every overlay membership.
+
+        NetTube pays for its per-video tracker state here too: a node in
+        many overlays files one report per overlay (sorted for
+        determinism), the same linear-in-videos-watched overhead the
+        paper criticises in the maintenance plane.
+        """
+        count = super().reannounce(user_id)
+        if not count:
+            return 0
+        for video_id in sorted(self._memberships.get(user_id, ())):
+            self.server.register_video_overlay_member(video_id, user_id)
+            count += 1
+        return count
 
     # -- prefetching -----------------------------------------------------------------
 

@@ -89,6 +89,7 @@ class PaVodProtocol(VodProtocol):
                 if (
                     peer is not None
                     and peer.online
+                    and self.can_reach(user_id, candidate)
                     and self._has_full_copy(candidate, video_id)
                 ):
                     return LookupResult(
@@ -109,6 +110,22 @@ class PaVodProtocol(VodProtocol):
         super().on_watch_finished(user_id, video_id)
         self.server.watch_finished(video_id, user_id)
         self._watch_started_at.pop((user_id, video_id), None)
+
+    def reannounce(self, user_id: int) -> int:
+        """Tracker recovery: re-file presence plus the current watch.
+
+        PA-VoD's only tracker state beyond presence is the
+        currently-watching set, so a watching node files exactly one
+        extra report.
+        """
+        count = super().reannounce(user_id)
+        if not count:
+            return 0
+        peer = self.state(user_id)
+        if peer.current_video is not None:
+            self.server.watch_started(peer.current_video, user_id)
+            count += 1
+        return count
 
     # -- metrics -------------------------------------------------------------------
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from random import Random
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.cache import PrefetchStore, PrefetchedChunk, VideoCache
 from repro.net.bandwidth import SharedUploadLink
@@ -90,6 +90,24 @@ class VodProtocol(ABC):
         #: ``now_fn``).  Defaults to the falsy NULL_TRACER so protocol
         #: code can guard hot paths with ``if self.tracer:``.
         self.tracer = NULL_TRACER
+        #: Network-partition reachability predicate, set by the runner
+        #: only *during* a partition window (None otherwise, so the
+        #: fault-free hot path pays one identity check).  When set,
+        #: ``partition_guard(a, b)`` is False for peers on opposite
+        #: sides of the severed bisection: searches and maintenance
+        #: must skip -- not drop -- unreachable neighbors, because the
+        #: links come back when the partition heals.
+        self.partition_guard: Optional[Callable[[int, int], bool]] = None
+
+    def can_reach(self, a: int, b: int) -> bool:
+        """Whether peers ``a`` and ``b`` can talk right now.
+
+        True outside partition windows; during one, both must be on
+        the same side of the bisection.  The server is always
+        reachable (it is not a peer and has no side).
+        """
+        guard = self.partition_guard
+        return guard is None or guard(a, b)
 
     # -- peer registry -------------------------------------------------------
 
@@ -186,6 +204,22 @@ class VodProtocol(ABC):
         cadence to the paper's 10-minute probes given ~3.5-minute
         videos.  Default: nothing (PA-VoD keeps no links).
         """
+
+    def reannounce(self, user_id: int) -> int:
+        """Re-register this peer's tracker state after a tracker outage.
+
+        The tracker came back *empty* (its state died with it), so
+        every online peer pushes its view back up: presence here, plus
+        whatever protocol-specific registrations the subclass re-files
+        (channel membership, per-video overlays, current watches).
+        Returns the number of re-registration reports filed, presence
+        included.  Only ever called on fault-injected runs.
+        """
+        peer = self.peers.get(user_id)
+        if peer is None or not peer.online:
+            return 0
+        self.server.node_online(user_id)
+        return 1
 
     # -- prefetching --------------------------------------------------------------
 

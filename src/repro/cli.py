@@ -347,18 +347,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import os
 
     from repro.experiments.spec import ExperimentSpec
+    from repro.faults.grid import family_plan
     from repro.faults.plan import FaultPlan
 
     seed = _single_seed(args, "chaos")
+    if args.grid:
+        from repro.faults.grid import grid_to_json_bytes, render_grid, run_grid
+
+        scale = "default" if args.full else "smoke"
+        cells = run_grid(
+            seed=seed,
+            scale=scale,
+            jobs=args.jobs,
+            shards=args.shards,
+            workers=args.workers,
+            protocols=(args.protocol,) if args.protocol else None,
+        )
+        payload = grid_to_json_bytes(cells, seed=seed, scale=scale)
+        path = args.out or os.path.join(
+            args.outdir, f"resilience_grid_{seed}.json"
+        )
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        print(render_grid(cells))
+        print(f"grid: {path} ({len(payload)} bytes)")
+        return 0
+    if args.protocol is None:
+        raise SystemExit("chaos needs a protocol (or --grid for the full grid)")
     config = (
         SimulationConfig.default_scale(seed=seed)
         if args.full
         else SimulationConfig.smoke_scale(seed=seed)
     )
+    try:
+        plan = family_plan(args.family) if args.family else FaultPlan.demo()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     spec = ExperimentSpec(
         protocol=args.protocol, config=config, environment=args.environment,
         shards=args.shards, workers=args.workers,
-    ).with_faults(FaultPlan.demo())
+    ).with_faults(plan)
     task = (spec, args.window)
     if args.jobs > 1:
         with multiprocessing.Pool(processes=min(args.jobs, 2)) as pool:
@@ -574,8 +605,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         parents=[run_flags],
     )
     p_chaos.add_argument(
-        "protocol", choices=("socialtube", "nettube", "pavod"),
-        help="protocol stack to run under the demo fault plan",
+        "protocol", nargs="?", choices=("socialtube", "nettube", "pavod"),
+        help="protocol stack to run under the fault plan (optional with "
+        "--grid, where it restricts the grid to one protocol)",
+    )
+    p_chaos.add_argument(
+        "--family",
+        choices=(
+            "community_crash", "tracker_outage", "partition", "flash_crowd",
+            "infra",
+        ),
+        default=None,
+        help="run one infrastructure fault family's demo scenario instead "
+        "of the classic crash-churn plan ('infra' staggers all four)",
+    )
+    p_chaos.add_argument(
+        "--grid", action="store_true",
+        help="run the full resilience grid (protocols x fault families) "
+        "and write the degradation scorecard JSON",
     )
     p_chaos.add_argument(
         "--environment", default="peersim", help="named environment (see config)"

@@ -67,13 +67,18 @@ class SocialTubeProtocol(VodProtocol):
 
     def _alive_neighbors(self, node_id: int, neighbors: List[int]) -> List[int]:
         """Filter dead neighbors, repairing links lazily (Section IV-A:
-        failed neighbors are removed and replaced)."""
+        failed neighbors are removed and replaced).
+
+        A neighbor cut off by a network partition is *skipped*, not
+        dropped: the peer is alive, only unreachable, and the link is
+        live again the moment the partition heals.
+        """
         alive = []
         for neighbor in neighbors:
-            if self._is_alive(neighbor):
-                alive.append(neighbor)
-            else:
+            if not self._is_alive(neighbor):
                 self.structure.drop_dead_neighbor(node_id, neighbor)
+            elif self.can_reach(node_id, neighbor):
+                alive.append(neighbor)
         return alive
 
     # -- lifecycle --------------------------------------------------------------
@@ -202,7 +207,11 @@ class SocialTubeProtocol(VodProtocol):
             category_id = self.dataset.category_of_channel(channel_id)
             holder = self.server.find_holder_in_category(
                 category_id,
-                is_holder=lambda n: self.is_online_holder(n, video_id),
+                # The tracker sees both partition sides; a referral the
+                # requester cannot reach is worthless, so reachability
+                # joins the holder predicate.
+                is_holder=lambda n: self.can_reach(user_id, n)
+                and self.is_online_holder(n, video_id),
                 exclude=user_id,
             )
             if holder is not None:
@@ -227,6 +236,23 @@ class SocialTubeProtocol(VodProtocol):
         """Probe-cycle repair: drop dead neighbors, top links back up."""
         if self.state(user_id).online:
             self.structure.maintain(user_id, self._is_alive)
+
+    def reannounce(self, user_id: int) -> int:
+        """Tracker recovery: re-file presence plus channel membership.
+
+        SocialTube's tracker state is cheap by design (Section IV-A:
+        subscription reports, not per-video watch reports), so recovery
+        is one presence report plus one channel-membership report for
+        the overlay the node currently occupies.
+        """
+        count = super().reannounce(user_id)
+        if not count:
+            return 0
+        channel = self.structure.current_channel(user_id)
+        if channel is not None:
+            self.server.register_channel_member(channel, user_id)
+            count += 1
+        return count
 
     # -- prefetching --------------------------------------------------------------------
 

@@ -46,6 +46,7 @@ Delay model (documented in DESIGN.md section 5):
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -59,11 +60,11 @@ from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.net.latency import SERVER_NODE_ID
 from repro.net.message import ChunkSource, LookupResult
 from repro.net.streaming import simulate_playback, simulate_resume
-from repro.net.server import CentralServer
+from repro.net.server import CentralServer, ServerOverloadError
 from repro.obs.perf import NULL_PERF
 from repro.obs.tracer import NULL_TRACER
 from repro.overlay.maintenance import record_link_sample, record_repair_sweep
-from repro.shard.partition import CommunityPartition
+from repro.shard.partition import CommunityPartition, primary_interest
 from repro.shard.scheduler import ShardedScheduler, ShardReport
 from repro.sim.churn import ChurnModel, SessionPlan
 from repro.sim.engine import EventScheduler
@@ -188,6 +189,12 @@ class ExperimentRunner:
         self._consumers: Dict[int, Dict[int, None]] = {}
         self._failovers: Dict[int, _FailoverState] = {}
         self._serve_ctx = None  # (provider_id, rate_bps) of the last serve
+        #: True only while retrying a request past the shed budget: the
+        #: server must admit it even under flash-crowd admission control.
+        self._serve_forced = False
+        #: node -> partition side, populated lazily while a network
+        #: partition is active (None otherwise).
+        self._partition_sides: Optional[Dict[int, int]] = None
 
         self.dataset = dataset or shared_trace_cache.dataset_for(config.trace)
         if config.num_nodes > self.dataset.num_users:
@@ -438,7 +445,7 @@ class ExperimentRunner:
                 )
             chunk_source = ChunkSource.PEER
         else:
-            grant = self.server.serve(video_bits)
+            grant = self.server.serve(video_bits, force=self._serve_forced)
             rate_bps = (
                 self.faults.server_rate(grant.rate_bps, self.scheduler.now)
                 if self.faults
@@ -544,11 +551,38 @@ class ExperimentRunner:
                 )
         self._request_next_video(user_id)
 
-    def _request_next_video(self, user_id: int) -> None:
-        video_id = self.selector.next_video(user_id)
-        startup, grant, lookup, prefetch_hit, stall_s = self._serve_request(
-            user_id, video_id
+    def _request_next_video(
+        self, user_id: int, video_id: Optional[int] = None, shed_attempts: int = 0
+    ) -> None:
+        if shed_attempts and not self.protocol.state(user_id).online:
+            return  # the requester crashed during its shed backoff
+        if video_id is None:
+            video_id = self.selector.next_video(user_id)
+        # Past the shed budget the client's retry is marked degraded:
+        # the server admits it regardless of admission control, so a
+        # flash crowd delays sessions but never strands one.
+        self._serve_forced = bool(
+            self.faults and shed_attempts > self.faults.retry.max_retries
         )
+        try:
+            startup, grant, lookup, prefetch_hit, stall_s = self._serve_request(
+                user_id, video_id
+            )
+        except ServerOverloadError:
+            # Admission control shed the request (flash crowd).  The
+            # client backs off under the shared RetryPolicy and retries
+            # the *same* video.
+            self.metrics.record_shed_retry(user_id)
+            self.scheduler.schedule(
+                self.faults.retry.backoff_delay(shed_attempts),
+                self._request_next_video,
+                user_id,
+                video_id,
+                shed_attempts + 1,
+            )
+            return
+        finally:
+            self._serve_forced = False
         self.metrics.record_request(
             user_id=user_id,
             startup_delay_s=startup,
@@ -684,6 +718,8 @@ class ExperimentRunner:
     def _repair_after_crash(self, user_id: int) -> None:
         """The repair window elapsed; survivors heal their link tables."""
         repaired = self.protocol.repair_after_crash(user_id)
+        if repaired:
+            self.metrics.note_recovery_action(self.scheduler.now)
         record_repair_sweep(self.tracer, user_id, repaired)
 
     def _interrupt_transfer(self, user_id: int, provider_id: int) -> None:
@@ -772,7 +808,10 @@ class ExperimentRunner:
                 )
             self.scheduler.schedule(delay, self._attempt_failover, user_id, state)
             return
-        grant = self.server.serve(self._remaining_bits(state))
+        # Failover fallback bypasses admission control (force=True): the
+        # consumer already absorbed an interruption plus the full retry
+        # ladder; shedding it again would strand the session.
+        grant = self.server.serve(self._remaining_bits(state), force=True)
         rate_bps = self.faults.server_rate(grant.rate_bps, self.scheduler.now)
         self._resume_watch(user_id, state, grant, rate_bps, None, to_peer=False)
 
@@ -816,6 +855,7 @@ class ExperimentRunner:
         self.metrics.record_failover(
             user_id, latency_s=latency, retries=state.attempt, to_peer=to_peer
         )
+        self.metrics.note_recovery_action(now)
         if self.tracer:
             self.tracer.event(
                 "failover.resume" if to_peer else "failover.server",
@@ -846,6 +886,218 @@ class ExperimentRunner:
         if to_peer:
             self._consumers.setdefault(provider_id, {})[user_id] = None
 
+    # -- infrastructure faults (repro.faults v2) -----------------------------------------
+
+    def _schedule_infra_faults(self) -> None:
+        """Arm the correlated/infrastructure fault families.
+
+        Every family event is scheduled *unkeyed* (no node-id first
+        argument), so under sharded execution it runs as a global event
+        in the exact-mode total order -- the property that keeps
+        ``--shards``/``--workers`` runs byte-identical.  With no family
+        armed this schedules nothing, so fault-free runs are untouched.
+        """
+        if not self.faults:
+            return
+        plan = self.fault_plan
+        if self.faults.community_crash_armed:
+            self.scheduler.schedule(plan.community_crash_at_s, self._community_crash)
+        if self.faults.tracker_outage_armed:
+            self.scheduler.schedule(
+                plan.tracker_outage_at_s, self._tracker_outage_begin
+            )
+            self.scheduler.schedule(
+                plan.tracker_outage_at_s + plan.tracker_outage_duration_s,
+                self._tracker_outage_end,
+            )
+        if self.faults.partition_armed:
+            self.scheduler.schedule(plan.partition_at_s, self._partition_begin)
+            self.scheduler.schedule(
+                plan.partition_at_s + plan.partition_duration_s, self._partition_end
+            )
+        if self.faults.flash_crowd_armed:
+            self.scheduler.schedule(plan.flash_crowd_at_s, self._flash_crowd_begin)
+            self.scheduler.schedule(
+                plan.flash_crowd_at_s + plan.flash_crowd_duration_s,
+                self._flash_crowd_end,
+            )
+
+    def _fault_onset_time(self) -> float:
+        """Instant the first armed infrastructure fault strikes.
+
+        The degradation scorecard measures recovery *from this point*:
+        ``recovery_time_s`` is the gap between the first window opening
+        and the last recovery action (failover resume, repair sweep,
+        re-registration sweep, partition heal) -- total time until the
+        system is whole again.  Zero when no windowed family is armed,
+        which keeps pre-v2 plans reporting zero.
+        """
+        if not self.faults:
+            return 0.0
+        plan = self.fault_plan
+        onsets = []
+        if self.faults.community_crash_armed:
+            onsets.append(plan.community_crash_at_s)
+        if self.faults.tracker_outage_armed:
+            onsets.append(plan.tracker_outage_at_s)
+        if self.faults.partition_armed:
+            onsets.append(plan.partition_at_s)
+        if self.faults.flash_crowd_armed:
+            onsets.append(plan.flash_crowd_at_s)
+        return min(onsets) if onsets else 0.0
+
+    def _community_crash(self) -> None:
+        """Correlated burst: kill part of one interest community at once.
+
+        The injector draws the cluster from its own ``faults.community``
+        substream, restricted to communities of at least average size
+        (a correlated failure taking out a three-node fringe cluster
+        measures nothing); the burst then takes the highest-capacity
+        members first -- the worst case for the overlay, since those
+        nodes carry the most transfers and the densest link tables.
+        Victims already offline are skipped (a burst cannot kill a node
+        twice); each kill runs the ordinary crash path, so consumers
+        fail over and a repair sweep lands one repair window out.
+        """
+        by_cluster: Dict[int, list] = {}
+        for node in self._node_ids:
+            by_cluster.setdefault(primary_interest(self.dataset, node), []).append(
+                node
+            )
+        mean_size = len(self._node_ids) / len(by_cluster)
+        eligible = sorted(
+            c for c, nodes in by_cluster.items() if len(nodes) >= mean_size
+        )
+        if not eligible:
+            eligible = sorted(by_cluster)
+        cluster = self.faults.community_crash_cluster(eligible)
+        members = by_cluster[cluster]
+        count = math.ceil(
+            self.fault_plan.community_crash_fraction * len(members)
+        )
+        members.sort(
+            key=lambda node: (-self.protocol.state(node).uplink.capacity_bps, node)
+        )
+        killed = 0
+        for victim in members[:count]:
+            if not self.protocol.state(victim).online:
+                continue
+            pending = self._crash_events.pop(victim, None)
+            if pending is not None:
+                pending.cancel()  # the burst preempts the churn crash
+            self._crash_node(victim)
+            killed += 1
+        self.metrics.record_burst(killed)
+        if self.tracer:
+            self.tracer.event(
+                "fault.community_crash",
+                cluster=cluster,
+                planned=min(count, len(members)),
+                victims=killed,
+            )
+
+    def _tracker_outage_begin(self) -> None:
+        self.server.tracker_outage_begin()
+
+    def _tracker_outage_end(self) -> None:
+        """Tracker recovery: every online node re-files its state.
+
+        The outage wiped the tracker's soft state, so lookups between
+        recovery and a node's next report would miss it.  Deterministic
+        sweep in node-id order; each protocol re-registers exactly the
+        tracker state it maintains (presence, channel membership,
+        overlay memberships, current watches).
+        """
+        self.server.tracker_outage_end()
+        reports = 0
+        for node_id in self._node_ids:
+            reports += self.protocol.reannounce(node_id)
+        self.metrics.record_reregistrations(reports)
+        self.metrics.note_recovery_action(self.scheduler.now)
+        if self.tracer:
+            self.tracer.event("tracker.reregister", count=reports)
+
+    def _partition_side_of(self, node_id: int) -> int:
+        """Which half of the severed network a node sits in.
+
+        Sides follow interest communities (``primary_interest % 2``) --
+        the paper's per-community structure makes a community-aligned
+        cut the interesting one: intra-community links mostly survive,
+        inter-community (inter-link) traffic is what the cut severs.
+        Unaffiliated nodes (cluster -1) land on side 1.
+        """
+        sides = self._partition_sides
+        assert sides is not None
+        side = sides.get(node_id)
+        if side is None:
+            side = primary_interest(self.dataset, node_id) % 2
+            sides[node_id] = side
+        return side
+
+    def _partition_reach(self, a: int, b: int) -> bool:
+        return self._partition_side_of(a) == self._partition_side_of(b)
+
+    def _partition_begin(self) -> None:
+        """Sever cross-community links; cut transfers fail over.
+
+        The reachability guard makes every protocol skip (not drop)
+        unreachable neighbors and referrals; the server stays reachable
+        from both sides, so lookups degrade to server fallbacks rather
+        than failures.  In-flight transfers crossing the cut are
+        interrupted into the standard failover ladder.
+        """
+        self._partition_sides = {}
+        self.protocol.partition_guard = self._partition_reach
+        if self.tracer:
+            self.tracer.event("partition.transition", phase="begin")
+        interrupted = 0
+        for consumer in sorted(self._watches):
+            watch = self._watches.get(consumer)
+            if watch is None or watch.provider_id is None:
+                continue
+            if not self._partition_reach(consumer, watch.provider_id):
+                self._interrupt_transfer(consumer, provider_id=watch.provider_id)
+                if consumer in self._failovers:
+                    interrupted += 1
+        self.metrics.record_partition_interrupts(interrupted)
+
+    def _partition_end(self) -> None:
+        """Heal the partition: restore reachability, re-probe overlays.
+
+        Clearing the guard restores every skipped link instantly; the
+        heal sweep then runs one maintenance probe per online node (in
+        node-id order) so link tables refill across the healed cut
+        without waiting for each node's next natural probe.
+        """
+        self.protocol.partition_guard = None
+        self._partition_sides = None
+        if self.tracer:
+            self.tracer.event("partition.transition", phase="end")
+        healed = 0
+        for node_id in self._node_ids:
+            if self.protocol.state(node_id).online:
+                self.protocol.on_maintenance(node_id)
+                healed += 1
+        self.metrics.record_heal(healed)
+        self.metrics.note_recovery_action(self.scheduler.now)
+        if self.tracer:
+            self.tracer.event("partition.healed", nodes=healed)
+
+    def _flash_crowd_begin(self) -> None:
+        self.server.admission_limit = self.fault_plan.flash_crowd_admission_limit
+        if self.tracer:
+            self.tracer.event(
+                "server.flash_crowd",
+                phase="begin",
+                limit=self.server.admission_limit,
+            )
+
+    def _flash_crowd_end(self) -> None:
+        self.server.admission_limit = 0
+        self.metrics.note_recovery_action(self.scheduler.now)
+        if self.tracer:
+            self.tracer.event("server.flash_crowd", phase="end")
+
     # -- run --------------------------------------------------------------------------------
 
     def run(self) -> ExperimentResult:
@@ -854,12 +1106,18 @@ class ExperimentRunner:
             self.scheduler.schedule(
                 self.churn.initial_join_delay(), self._start_session, node_id
             )
+        self._schedule_infra_faults()
+        self.metrics.fault_onset_t = self._fault_onset_time()
         perf = self.perf
         if perf:
             perf.run_begin()
         self.scheduler.run()
         if perf:
             perf.run_end(self.scheduler.events_processed)
+        # Server-side fault counters live on the server; fold them into
+        # the collector so the summary (and the regress gate) sees them.
+        self.metrics.tracker_lookup_failures = self.server.tracker_lookup_failures
+        self.metrics.server_sheds = self.server.requests_shed
         report = (
             dataclasses.replace(
                 self.scheduler.shard_report(),

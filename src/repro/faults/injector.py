@@ -16,7 +16,7 @@ faults are off.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.faults.plan import FaultPlan
 from repro.sim.rng import RngStreams
@@ -52,6 +52,14 @@ class FaultInjector:
         self._rng_crash = streams.stream("faults.crash")
         self._rng_query = streams.stream("faults.query-loss")
         self._rng_slow = streams.stream("faults.slow-peer")
+        self._rng_community = streams.stream("faults.community")
+        # Armed flags cached so the clock-window predicates cost one
+        # attribute read + compare on the hot path (the <3% armed-inert
+        # bar in BENCH_faults.json covers these).
+        self.community_crash_armed = plan.has_community_crash()
+        self.tracker_outage_armed = plan.has_tracker_outage()
+        self.partition_armed = plan.has_partition()
+        self.flash_crowd_armed = plan.has_flash_crowd()
 
     def __bool__(self) -> bool:
         return True
@@ -91,3 +99,38 @@ class FaultInjector:
         if self.in_brownout(now):
             return rate_bps * self.plan.brownout_factor
         return rate_bps
+
+    # -- v2 correlated & infrastructure families -----------------------
+
+    def community_crash_cluster(self, clusters: Sequence[int]) -> int:
+        """Pick the interest cluster the correlated burst takes down.
+
+        The *only* random draw in the community-crash family (one
+        ``faults.community`` draw per run); the victim set inside the
+        cluster is chosen deterministically by the runner (highest
+        upload capacity first, node id as the tiebreak).
+        """
+        if not clusters:
+            raise ValueError("community_crash_cluster needs a nonempty cluster list")
+        return clusters[self._rng_community.randrange(len(clusters))]
+
+    def tracker_down(self, now: float) -> bool:
+        """Whether ``now`` falls inside the tracker-outage window."""
+        if not self.tracker_outage_armed:
+            return False
+        start = self.plan.tracker_outage_at_s
+        return start <= now < start + self.plan.tracker_outage_duration_s
+
+    def in_partition(self, now: float) -> bool:
+        """Whether ``now`` falls inside the network-partition window."""
+        if not self.partition_armed:
+            return False
+        start = self.plan.partition_at_s
+        return start <= now < start + self.plan.partition_duration_s
+
+    def in_flash_crowd(self, now: float) -> bool:
+        """Whether ``now`` falls inside the flash-crowd window."""
+        if not self.flash_crowd_armed:
+            return False
+        start = self.plan.flash_crowd_at_s
+        return start <= now < start + self.plan.flash_crowd_duration_s

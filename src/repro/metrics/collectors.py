@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.stats import mean, percentile
 from repro.net.message import ChunkSource
@@ -60,6 +60,17 @@ class ExperimentMetrics:
     failover_latency_ms_mean: float = 0.0
     retries_per_serve: float = 0.0
     degraded_serve_fraction: float = 0.0
+    # Correlated & infrastructure faults (repro.faults v2; all zero on
+    # fault-free runs *and* on pre-v2 plans, so summaries and baselines
+    # captured before these families existed keep their bytes).
+    burst_crashes: int = 0
+    tracker_lookup_failures: int = 0
+    reregistrations: int = 0
+    partition_interrupts: int = 0
+    healed_nodes: int = 0
+    server_sheds: int = 0
+    shed_retries: int = 0
+    recovery_time_s: float = 0.0
 
     def overhead_series(self) -> List[Tuple[int, float]]:
         """Fig 18 series: (videos watched, mean links maintained).
@@ -131,6 +142,27 @@ class ExperimentMetrics:
                 f"retries/serve={self.retries_per_serve:.4f} "
                 f"degraded={self.degraded_serve_fraction:.3f}"
             )
+        if (
+            self.burst_crashes
+            or self.tracker_lookup_failures
+            or self.reregistrations
+            or self.partition_interrupts
+            or self.healed_nodes
+            or self.server_sheds
+            or self.shed_retries
+            or self.recovery_time_s
+        ):
+            rows.append(
+                "  infra: "
+                f"burst={self.burst_crashes} "
+                f"lookup_failures={self.tracker_lookup_failures} "
+                f"reregistered={self.reregistrations} "
+                f"partition_cuts={self.partition_interrupts} "
+                f"healed={self.healed_nodes} "
+                f"sheds={self.server_sheds} "
+                f"shed_retries={self.shed_retries} "
+                f"recovery_s={self.recovery_time_s:.1f}"
+            )
         return rows
 
 
@@ -164,6 +196,20 @@ class MetricsCollector:
         self.failover_server_fallbacks = 0
         self.failover_retries = 0
         self._failover_latencies_ms: List[float] = []
+        # Infrastructure faults (repro.faults v2).  The server-side
+        # counters (lookup failures, sheds) are copied onto the
+        # collector by the runner after the event loop drains.
+        self.burst_crashes = 0
+        self.tracker_lookup_failures = 0
+        self.reregistrations = 0
+        self.partition_interrupts = 0
+        self.healed_nodes = 0
+        self.server_sheds = 0
+        self.shed_retries = 0
+        #: Instant the first armed infrastructure fault strikes (set by
+        #: the runner); 0.0 disables recovery-time measurement.
+        self.fault_onset_t = 0.0
+        self._last_recovery_t: Optional[float] = None
 
     # -- recording -----------------------------------------------------------
 
@@ -252,6 +298,43 @@ class MetricsCollector:
         self.failover_retries += retries
         self._failover_latencies_ms.append(latency_s * 1000.0)
 
+    def record_burst(self, victims: int) -> None:
+        """Record one correlated community-crash burst."""
+        if victims < 0:
+            raise ValueError("victims must be >= 0")
+        self.burst_crashes += victims
+
+    def record_reregistrations(self, reports: int) -> None:
+        """Record the tracker-recovery re-registration sweep."""
+        if reports < 0:
+            raise ValueError("reports must be >= 0")
+        self.reregistrations += reports
+
+    def record_partition_interrupts(self, count: int) -> None:
+        """Record transfers severed when a partition began."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.partition_interrupts += count
+
+    def record_heal(self, nodes: int) -> None:
+        """Record the heal sweep run when a partition ended."""
+        if nodes < 0:
+            raise ValueError("nodes must be >= 0")
+        self.healed_nodes += nodes
+
+    def record_shed_retry(self, user_id: int) -> None:
+        """Count one client-side backoff after an admission-control shed."""
+        self.shed_retries += 1
+
+    def note_recovery_action(self, now: float) -> None:
+        """Timestamp a recovery action (resume, repair, reannounce, heal).
+
+        ``recovery_time_s`` is the gap between the first armed fault
+        striking and the *last* such action -- how long until the system
+        was whole again, including the post-heal repair tail.
+        """
+        self._last_recovery_t = now
+
     def record_playback(
         self, user_id: int, continuity_index: float, total_stall_s: float
     ) -> None:
@@ -330,5 +413,17 @@ class MetricsCollector:
             retries_per_serve=self.failover_retries / self.requests,
             degraded_serve_fraction=(
                 self.failover_server_fallbacks / self.requests
+            ),
+            burst_crashes=self.burst_crashes,
+            tracker_lookup_failures=self.tracker_lookup_failures,
+            reregistrations=self.reregistrations,
+            partition_interrupts=self.partition_interrupts,
+            healed_nodes=self.healed_nodes,
+            server_sheds=self.server_sheds,
+            shed_retries=self.shed_retries,
+            recovery_time_s=(
+                max(0.0, self._last_recovery_t - self.fault_onset_t)
+                if self.fault_onset_t > 0 and self._last_recovery_t is not None
+                else 0.0
             ),
         )

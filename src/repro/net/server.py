@@ -27,6 +27,16 @@ from repro.net.bandwidth import SharedUploadLink
 from repro.obs.tracer import NULL_TRACER
 
 
+class ServerOverloadError(Exception):
+    """Raised by :meth:`CentralServer.serve` when admission control sheds.
+
+    Only possible while a flash-crowd window holds an
+    ``admission_limit`` on the server; the requester is expected to
+    retry under the plan's :class:`~repro.faults.plan.RetryPolicy` and
+    force a degraded admit past the budget.
+    """
+
+
 class CentralServer:
     """Tracker + fallback video source + popularity oracle.
 
@@ -57,6 +67,15 @@ class CentralServer:
         self.requests_served = 0
         self.tracker_lookups = 0
         self.subscription_reports = 0
+        # Infrastructure-fault state (repro.faults v2) ----------------------
+        #: While True the tracker is dark: every lookup fails (counted,
+        #: no RNG consumed) and registrations are dropped on the floor.
+        self.tracker_down = False
+        #: Flash-crowd admission control: when > 0, ``serve`` sheds any
+        #: request that would exceed this many concurrent transfers.
+        self.admission_limit = 0
+        self.tracker_lookup_failures = 0
+        self.requests_shed = 0
         #: Optional repro.obs tracer (set by the experiment runner).
         #: When truthy, every fallback serve and tracker lookup emits a
         #: trace event -- the raw feed behind the server-load time
@@ -69,14 +88,49 @@ class CentralServer:
         if self.tracer:
             self.tracer.event("server.lookup", kind=kind)
 
+    def _count_lookup_failed(self, kind: str) -> None:
+        """Count one lookup that hit a dark tracker (``tracker.lookup_failed``)."""
+        self.tracker_lookup_failures += 1
+        if self.tracer:
+            self.tracer.event("tracker.lookup_failed", kind=kind)
+
+    # -- tracker outage (repro.faults v2) -----------------------------------
+
+    def tracker_outage_begin(self) -> None:
+        """Take the tracker down *and lose its state*.
+
+        Peer and watch registrations made during the outage are dropped
+        (the reports have nowhere to land); recovery is
+        :meth:`tracker_outage_end` followed by the runner's
+        re-registration sweep, which asks every online peer to
+        re-announce through ``protocol.reannounce``.
+        """
+        self.tracker_down = True
+        self._online.clear()
+        self._channel_members.clear()
+        self._video_overlay_members.clear()
+        self._current_watchers.clear()
+        if self.tracer:
+            self.tracer.event("tracker.outage", phase="begin")
+
+    def tracker_outage_end(self) -> None:
+        """Bring the tracker back up (empty-handed) and accept reports again."""
+        self.tracker_down = False
+        if self.tracer:
+            self.tracer.event("tracker.outage", phase="end")
+
     # -- presence ----------------------------------------------------------
 
     def node_online(self, node_id: int) -> None:
         """Mark a node online (start of a session)."""
+        if self.tracker_down:
+            return
         self._online.add(node_id)
 
     def node_offline(self, node_id: int) -> None:
         """Mark a node offline and purge it from all tracker maps."""
+        if self.tracker_down:
+            return
         self._online.discard(node_id)
         for members in self._channel_members.values():
             members.discard(node_id)
@@ -102,10 +156,14 @@ class CentralServer:
         SocialTube asks the server to keep, versus NetTube's per-video
         watch reports.
         """
+        if self.tracker_down:
+            return
         self._channel_members[channel_id].add(node_id)
         self.subscription_reports += 1
 
     def unregister_channel_member(self, channel_id: int, node_id: int) -> None:
+        if self.tracker_down:
+            return
         self._channel_members[channel_id].discard(node_id)
 
     def channel_members(self, channel_id: int) -> Set[int]:
@@ -116,6 +174,9 @@ class CentralServer:
         self, channel_id: int, exclude: Optional[int] = None
     ) -> Optional[int]:
         """A uniformly random online member of the channel overlay."""
+        if self.tracker_down:
+            self._count_lookup_failed("channel-member")
+            return None
         self._count_lookup("channel-member")
         members = self._channel_members.get(channel_id)
         if not members:
@@ -138,6 +199,9 @@ class CentralServer:
         occupied channels than ``limit``, additional members of the same
         channels are handed out rather than returning short.
         """
+        if self.tracker_down:
+            self._count_lookup_failed("category-bootstrap")
+            return []
         self._count_lookup("category-bootstrap")
         channels = list(self.catalog.channels_of_category(category_id))
         self._rng.shuffle(channels)
@@ -175,6 +239,9 @@ class CentralServer:
         higher-level overlay of the video's interest".  The scan is
         bounded to keep the server's work per request constant.
         """
+        if self.tracker_down:
+            self._count_lookup_failed("category-holder")
+            return None
         self._count_lookup("category-holder")
         scanned = 0
         channels = list(self.catalog.channels_of_category(category_id))
@@ -193,10 +260,14 @@ class CentralServer:
     # -- per-video overlay tracker (NetTube) --------------------------------
 
     def register_video_overlay_member(self, video_id: int, node_id: int) -> None:
+        if self.tracker_down:
+            return
         self._video_overlay_members[video_id].add(node_id)
         self.subscription_reports += 1
 
     def unregister_video_overlay_member(self, video_id: int, node_id: int) -> None:
+        if self.tracker_down:
+            return
         self._video_overlay_members[video_id].discard(node_id)
 
     def video_overlay_members(self, video_id: int) -> Set[int]:
@@ -206,6 +277,9 @@ class CentralServer:
         self, video_id: int, count: int, exclude: Optional[int] = None
     ) -> List[int]:
         """Up to ``count`` random members of a per-video overlay."""
+        if self.tracker_down:
+            self._count_lookup_failed("video-overlay")
+            return []
         self._count_lookup("video-overlay")
         members = [m for m in self._video_overlay_members.get(video_id, ()) if m != exclude]
         if len(members) <= count:
@@ -216,13 +290,20 @@ class CentralServer:
 
     def watch_started(self, video_id: int, node_id: int) -> None:
         """PA-VoD: a node begins playback and becomes a potential provider."""
+        if self.tracker_down:
+            return
         self._current_watchers[video_id].add(node_id)
 
     def watch_finished(self, video_id: int, node_id: int) -> None:
         """PA-VoD: once playback ends the node stops providing the video."""
+        if self.tracker_down:
+            return
         self._current_watchers[video_id].discard(node_id)
 
     def current_watchers(self, video_id: int, exclude: Optional[int] = None) -> List[int]:
+        if self.tracker_down:
+            self._count_lookup_failed("current-watchers")
+            return []
         self._count_lookup("current-watchers")
         return [w for w in self._current_watchers.get(video_id, ()) if w != exclude]
 
@@ -240,14 +321,39 @@ class CentralServer:
 
     # -- fallback video source -------------------------------------------------
 
-    def serve(self, bits: float):
+    def serve(self, bits: float, force: bool = False):
         """Admit one download on the server uplink; returns the grant.
 
         When a tracer is wired, each serve also emits a
         ``server.request`` event carrying the post-admission load
         (``active`` concurrent transfers) -- the live feed behind the
         "server load relief as overlays warm up" time series.
+
+        While a flash-crowd window holds ``admission_limit`` above
+        zero, a request that would push the uplink past the limit is
+        *shed* (:class:`ServerOverloadError`, traced as
+        ``server.shed``) unless ``force`` is True -- the forced path is
+        the retry-budget-spent degraded admit, and failover resumes,
+        which may not be bounced back into the failure they are
+        recovering from.
         """
+        if (
+            self.admission_limit > 0
+            and not force
+            and self.uplink.active_transfers >= self.admission_limit
+        ):
+            self.requests_shed += 1
+            if self.tracer:
+                self.tracer.event(
+                    "server.shed",
+                    bits=bits,
+                    active=self.uplink.active_transfers,
+                    limit=self.admission_limit,
+                )
+            raise ServerOverloadError(
+                f"admission limit {self.admission_limit} reached "
+                f"({self.uplink.active_transfers} active transfers)"
+            )
         self.requests_served += 1
         grant = self.uplink.admit(bits)
         if self.tracer:

@@ -81,6 +81,17 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[float, float]] = {
     "failover_latency_ms_mean": (1.0, 0.05),
     "retries_per_serve": (0.01, 0.0),
     "degraded_serve_fraction": (0.02, 0.0),
+    # Infrastructure-fault metrics (repro.faults v2; chaos baselines
+    # only).  Counts replay deterministically; the recovery clock gets
+    # the usual time band.
+    "burst_crashes": (0.0, 0.0),
+    "tracker_lookup_failures": (0.0, 0.0),
+    "reregistrations": (0.0, 0.0),
+    "partition_interrupts": (0.0, 0.0),
+    "healed_nodes": (0.0, 0.0),
+    "server_sheds": (0.0, 0.0),
+    "shed_retries": (0.0, 0.0),
+    "recovery_time_s": (1.0, 0.05),
 }
 
 #: Recovery metrics captured only under a nonzero fault plan; all are
@@ -93,6 +104,14 @@ CHAOS_METRICS: Tuple[str, ...] = (
     "failover_latency_ms_mean",
     "retries_per_serve",
     "degraded_serve_fraction",
+    "burst_crashes",
+    "tracker_lookup_failures",
+    "reregistrations",
+    "partition_interrupts",
+    "healed_nodes",
+    "server_sheds",
+    "shed_retries",
+    "recovery_time_s",
 )
 
 #: Band applied to a metric missing from :data:`DEFAULT_TOLERANCES`.
@@ -153,8 +172,20 @@ def spec_for_baseline(payload: Dict[str, Any]) -> ExperimentSpec:
     return spec
 
 
-def _capture(spec: ExperimentSpec, scale: str, window_s: float) -> Dict[str, Any]:
-    """Run one spec and snapshot its baseline payload."""
+def _capture(
+    spec: ExperimentSpec,
+    scale: str,
+    window_s: float,
+    variant: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one spec and snapshot its baseline payload.
+
+    ``variant`` distinguishes multiple chaos baselines of the same
+    protocol/environment (e.g. the ``infra`` grid scenarios from the
+    classic crash-churn demo); it feeds the filename via
+    :func:`baseline_path` and rides in the payload so ``regress
+    --update`` rewrites the right file.
+    """
     run = run_with_timeseries(
         spec,
         window_s=window_s,
@@ -202,6 +233,8 @@ def _capture(spec: ExperimentSpec, scale: str, window_s: float) -> Dict[str, Any
     }
     if spec.has_faults():
         payload["faults"] = spec.faults.to_dict()
+    if variant:
+        payload["variant"] = variant
     return payload
 
 
@@ -214,6 +247,7 @@ def capture_baseline(
     faults: Optional[FaultPlan] = None,
     shards: int = 1,
     workers: int = 1,
+    variant: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Snapshot one protocol's baseline payload from a fresh run.
 
@@ -244,7 +278,7 @@ def capture_baseline(
         spec = spec.with_shards(shards)
     if workers != 1:
         spec = spec.with_workers(workers)
-    return _capture(spec, scale, window_s)
+    return _capture(spec, scale, window_s, variant=variant)
 
 
 def _capture_worker(task: Dict[str, Any]) -> Dict[str, Any]:
@@ -259,12 +293,16 @@ def _capture_worker(task: Dict[str, Any]) -> Dict[str, Any]:
         faults=FaultPlan.from_dict(faults) if faults else None,
         shards=task.get("shards", 1),
         workers=task.get("workers", 1),
+        variant=task.get("variant"),
     )
 
 
 def baseline_path(baseline_dir: str, payload: Dict[str, Any]) -> str:
     """Canonical file path for one baseline payload."""
     suffix = "_chaos" if payload.get("faults") else ""
+    variant = payload.get("variant")
+    if variant:
+        suffix += f"_{variant}"
     name = f"baseline_{payload['protocol']}_{payload['environment']}{suffix}.json"
     return os.path.join(baseline_dir, name)
 
@@ -371,6 +409,7 @@ def run_regression(
             "scale": payload.get("scale", "smoke"),
             "window_s": payload.get("window_s", DEFAULT_WINDOW_S),
             "faults": payload.get("faults"),
+            "variant": payload.get("variant"),
             "shards": shards,
             "workers": workers,
         }

@@ -172,6 +172,15 @@ _FAULT_ROW_CODES: Dict[str, int] = {
     "failover.resume": 16,
     "failover.server": 17,
     "overlay.repair": 18,
+    # Correlated & infrastructure families (repro.faults v2).
+    "fault.community_crash": 19,
+    "tracker.outage": 20,
+    "tracker.lookup_failed": 21,
+    "tracker.reregister": 22,
+    "partition.transition": 23,
+    "partition.healed": 24,
+    "server.shed": 25,
+    "server.flash_crowd": 26,
 }
 
 
@@ -244,6 +253,13 @@ class TimeSeriesCollector:
         self._failover_server = 0
         self._failover_latency_sum_s = 0.0
         self._repaired_links = 0
+        # Infrastructure-fault counters (repro.faults v2).
+        self._burst_crashes = 0
+        self._infra_transitions = 0
+        self._lookup_failures = 0
+        self._reregistrations = 0
+        self._healed_nodes = 0
+        self._server_sheds = 0
 
     def _flush_window(self) -> None:
         """Close the current window into a record and start the next."""
@@ -300,6 +316,12 @@ class TimeSeriesCollector:
                 else 0.0
             )
             record["repaired_links"] = self._repaired_links
+            record["burst_crashes"] = self._burst_crashes
+            record["infra_transitions"] = self._infra_transitions
+            record["lookup_failures"] = self._lookup_failures
+            record["reregistrations"] = self._reregistrations
+            record["healed_nodes"] = self._healed_nodes
+            record["server_sheds"] = self._server_sheds
         self._records.append(record)
         self._index += 1
         self._window_end = (self._index + 1) * self.window_s
@@ -389,8 +411,20 @@ class TimeSeriesCollector:
         elif code == 17:  # failover.server: degraded server finish
             self._failover_server += 1
             self._failover_latency_sum_s += attrs.get("latency_s", 0.0)
-        else:  # code 18, overlay.repair: crash-repair sweep outcome
+        elif code == 18:  # overlay.repair: crash-repair sweep outcome
             self._repaired_links += attrs.get("links", 0)
+        elif code == 19:  # fault.community_crash: one correlated burst
+            self._burst_crashes += attrs.get("victims", 0)
+        elif code == 21:  # tracker.lookup_failed: query hit a dark tracker
+            self._lookup_failures += 1
+        elif code == 22:  # tracker.reregister: recovery reports re-filed
+            self._reregistrations += attrs.get("count", 0)
+        elif code == 24:  # partition.healed: heal-sweep size at re-link
+            self._healed_nodes += attrs.get("nodes", 0)
+        elif code == 25:  # server.shed: one admission-control rejection
+            self._server_sheds += 1
+        else:  # codes 20/23/26: outage / partition / flash-crowd edges
+            self._infra_transitions += 1
 
     def finalize(self, content_hash: str = "") -> TimeSeriesTable:
         """Close the trailing window and return the finished table.

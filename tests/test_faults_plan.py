@@ -1,8 +1,25 @@
 """Unit tests for the declarative fault model (FaultPlan / RetryPolicy)."""
 
+import json
+import os
+
 import pytest
 
 from repro.faults.plan import FaultPlan, RetryPolicy
+
+_V2_FIELDS = (
+    "community_crash_at_s",
+    "community_crash_fraction",
+    "tracker_outage_at_s",
+    "tracker_outage_duration_s",
+    "partition_at_s",
+    "partition_duration_s",
+    "flash_crowd_at_s",
+    "flash_crowd_duration_s",
+    "flash_crowd_admission_limit",
+)
+
+_BASELINE_DIR = os.path.join(os.path.dirname(__file__), "..", "baselines")
 
 
 class TestRetryPolicy:
@@ -19,6 +36,28 @@ class TestRetryPolicy:
     def test_negative_attempt_rejected(self):
         with pytest.raises(ValueError):
             RetryPolicy().backoff_delay(-1)
+
+    def test_backoff_is_monotone_nondecreasing(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.5, backoff_factor=1.7, backoff_max_s=45.0
+        )
+        delays = [policy.backoff_delay(a) for a in range(64)]
+        assert delays == sorted(delays)
+        assert delays[-1] == 45.0
+
+    def test_backoff_caps_without_overflow_at_huge_attempts(self):
+        # 2.0**5000 is outside float range; the cap must win, not raise.
+        policy = RetryPolicy()
+        assert policy.backoff_delay(5000) == policy.backoff_max_s
+
+    def test_zero_base_backoff_stays_zero(self):
+        policy = RetryPolicy(backoff_base_s=0.0)
+        assert policy.backoff_delay(0) == 0.0
+        assert policy.backoff_delay(5000) == 0.0
+
+    def test_factor_of_one_never_grows(self):
+        policy = RetryPolicy(backoff_base_s=3.0, backoff_factor=1.0)
+        assert [policy.backoff_delay(a) for a in (0, 1, 100)] == [3.0, 3.0, 3.0]
 
     @pytest.mark.parametrize(
         "kwargs",
@@ -82,3 +121,95 @@ class TestFaultPlan:
 
     def test_from_dict_none_passes_through(self):
         assert FaultPlan.from_dict(None) is None
+
+    def test_from_dict_rejects_unknown_key_by_name(self):
+        payload = FaultPlan.demo().to_dict()
+        payload["crash_rate_per_hr"] = 1.0  # typo'd baseline edit
+        with pytest.raises(ValueError, match="crash_rate_per_hr"):
+            FaultPlan.from_dict(payload)
+
+    def test_from_dict_rejects_unknown_retry_key_by_name(self):
+        payload = FaultPlan.demo().to_dict()
+        payload["retry"]["max_tries"] = 3
+        with pytest.raises(ValueError, match="max_tries"):
+            FaultPlan.from_dict(payload)
+
+
+class TestInfraFamilies:
+    """The v2 families: armed predicates and hash-stable serialization."""
+
+    def test_family_demos_arm_exactly_their_family(self):
+        assert FaultPlan.community_crash_demo().has_community_crash()
+        assert not FaultPlan.community_crash_demo().has_partition()
+        assert FaultPlan.tracker_outage_demo().has_tracker_outage()
+        assert FaultPlan.partition_demo().has_partition()
+        assert FaultPlan.flash_crowd_demo().has_flash_crowd()
+        infra = FaultPlan.infra_demo()
+        assert infra.has_community_crash() and infra.has_tracker_outage()
+        assert infra.has_partition() and infra.has_flash_crowd()
+
+    def test_armed_family_makes_plan_nonzero(self):
+        for plan in (
+            FaultPlan.community_crash_demo(),
+            FaultPlan.tracker_outage_demo(),
+            FaultPlan.partition_demo(),
+            FaultPlan.flash_crowd_demo(),
+        ):
+            assert not plan.is_zero()
+
+    def test_half_armed_family_stays_disarmed(self):
+        # A window needs both an onset and a magnitude/duration to fire.
+        assert FaultPlan(community_crash_at_s=600.0).is_zero()
+        assert FaultPlan(community_crash_fraction=0.5).is_zero()
+        assert FaultPlan(tracker_outage_at_s=600.0).is_zero()
+        assert FaultPlan(partition_duration_s=400.0).is_zero()
+        assert FaultPlan(flash_crowd_at_s=600.0, flash_crowd_duration_s=300.0).is_zero()
+
+    def test_infra_round_trip(self):
+        plan = FaultPlan.infra_demo()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestHashStability:
+    """Pre-v2 plans and specs must keep their content hashes."""
+
+    def test_pre_v2_plan_serializes_without_v2_fields(self):
+        payload = FaultPlan.demo().to_dict()
+        for name in _V2_FIELDS:
+            assert name not in payload
+
+    def test_omitted_family_fields_load_back_as_disarmed_defaults(self):
+        rebuilt = FaultPlan.from_dict(FaultPlan.demo().to_dict())
+        assert rebuilt == FaultPlan.demo()
+        assert not rebuilt.has_community_crash()
+        assert not rebuilt.has_tracker_outage()
+        assert not rebuilt.has_partition()
+        assert not rebuilt.has_flash_crowd()
+
+    def test_committed_chaos_baseline_hash_still_matches(self):
+        """The pre-v2 chaos spec rebuilt from the committed baseline must
+        reproduce the committed content hash -- growing the FaultPlan
+        schema must not re-hash existing experiments."""
+        from repro.obs.baseline import spec_for_baseline
+
+        path = os.path.join(
+            _BASELINE_DIR, "baseline_socialtube_peersim_chaos.json"
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        for name in _V2_FIELDS:
+            assert name not in payload["faults"]
+        spec = spec_for_baseline(payload)
+        assert spec.content_hash() == payload["content_hash"]
+
+    def test_infra_baseline_hash_matches_infra_demo(self):
+        from repro.obs.baseline import spec_for_baseline
+
+        path = os.path.join(
+            _BASELINE_DIR, "baseline_socialtube_peersim_chaos_infra.json"
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        spec = spec_for_baseline(payload)
+        assert spec.faults == FaultPlan.infra_demo()
+        assert spec.content_hash() == payload["content_hash"]

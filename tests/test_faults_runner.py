@@ -12,10 +12,17 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.trace_cache import shared_trace_cache
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.obs.timeseries import run_with_timeseries
 
 PROTOCOLS = ("socialtube", "nettube", "pavod")
+
+FAMILY_PLANS = {
+    "community_crash": FaultPlan.community_crash_demo,
+    "tracker_outage": FaultPlan.tracker_outage_demo,
+    "partition": FaultPlan.partition_demo,
+    "flash_crowd": FaultPlan.flash_crowd_demo,
+}
 
 
 def _chaos_spec(protocol, seed=77):
@@ -71,6 +78,77 @@ class TestChaosRuns:
         structure.assert_invariants()
 
 
+@pytest.fixture(scope="module", params=sorted(FAMILY_PLANS))
+def family_run(request):
+    """(family, runner, result) of one v2-family run on socialtube."""
+    spec = ExperimentSpec(
+        protocol="socialtube", config=SimulationConfig.smoke_scale(seed=2014)
+    ).with_faults(FAMILY_PLANS[request.param]())
+    runner = ExperimentRunner(
+        spec, dataset=shared_trace_cache.dataset_for(spec.config.trace)
+    )
+    return request.param, runner, runner.run()
+
+
+class TestInfraFamilies:
+    """Each v2 family fires, degrades gracefully, and cleans up."""
+
+    def test_family_fires_and_recovers(self, family_run):
+        family, runner, result = family_run
+        metrics = result.metrics
+        if family == "community_crash":
+            assert metrics.burst_crashes > 0
+            assert metrics.crashes >= metrics.burst_crashes
+        elif family == "tracker_outage":
+            assert metrics.tracker_lookup_failures > 0
+            assert metrics.reregistrations > 0
+        elif family == "partition":
+            assert metrics.healed_nodes > 0
+        else:  # flash_crowd
+            assert metrics.server_sheds > 0
+            assert metrics.shed_retries > 0
+        assert metrics.recovery_time_s > 0
+        # Graceful degradation, not collapse: no dangling sessions.
+        assert not runner._failovers
+        assert not runner._watches
+        assert not runner._consumers
+
+    def test_fault_state_fully_unwound_after_run(self, family_run):
+        """Every window must leave no residue once it closes."""
+        _family, runner, _result = family_run
+        assert runner.protocol.partition_guard is None
+        assert runner.server.admission_limit == 0
+        assert not runner.server.tracker_down
+
+    def test_overlay_survives_the_burst(self, family_run):
+        family, runner, _result = family_run
+        if family != "community_crash":
+            pytest.skip("invariant stress is the burst's job")
+        structure = getattr(runner.protocol, "structure", None)
+        if structure is None:
+            pytest.skip("protocol has no hierarchical structure")
+        structure.assert_invariants()
+
+    def test_retry_budget_exhaustion_degrades_to_server(self):
+        """With every lookup lost, each serve burns its whole retry
+        budget and still completes -- via the server, never dropped."""
+        plan = FaultPlan(query_loss_prob=1.0, retry=RetryPolicy(max_retries=1))
+        spec = ExperimentSpec(
+            protocol="socialtube", config=SimulationConfig.smoke_scale(seed=5)
+        ).with_faults(plan)
+        runner = ExperimentRunner(
+            spec, dataset=shared_trace_cache.dataset_for(spec.config.trace)
+        )
+        metrics = runner.run().metrics
+        assert metrics.retries_per_serve > 0
+        # Every peer lookup exhausted its budget, so the server carried
+        # essentially the whole catalogue.
+        assert metrics.server_fallback_fraction > 0.5
+        assert not runner._failovers
+        assert not runner._watches
+        assert not runner._consumers
+
+
 class TestDeterminism:
     def test_zero_plan_is_byte_identical_to_no_plan(self):
         base = ExperimentSpec(
@@ -89,6 +167,29 @@ class TestDeterminism:
         b = run_with_timeseries(spec)
         assert a.jsonl == b.jsonl
         assert a.table.to_canonical_json() == b.table.to_canonical_json()
+
+    def test_infra_plan_replays_byte_identically(self):
+        spec = ExperimentSpec(
+            protocol="nettube", config=SimulationConfig.smoke_scale(seed=2014)
+        ).with_faults(FaultPlan.infra_demo())
+        a = run_with_timeseries(spec)
+        b = run_with_timeseries(spec)
+        assert a.jsonl == b.jsonl
+        assert a.table.to_canonical_json() == b.table.to_canonical_json()
+        # The infra fault columns exist and the families actually fired.
+        window = a.table.windows[0]
+        for column in (
+            "burst_crashes",
+            "infra_transitions",
+            "lookup_failures",
+            "reregistrations",
+            "healed_nodes",
+            "server_sheds",
+        ):
+            assert column in window
+        assert sum(a.table.series("burst_crashes")) > 0
+        assert sum(a.table.series("infra_transitions")) > 0
+        assert sum(a.table.series("server_sheds")) > 0
 
     def test_fault_columns_only_on_fault_runs(self):
         base = ExperimentSpec(

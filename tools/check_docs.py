@@ -32,9 +32,11 @@ Two checks, both offline:
   every control op of the coordinator<->worker barrier protocol
   (``repro.shard.workers.CONTROL_OPS``) as a backticked token, and
   ``docs/tracing.md`` must mention every stats field of a lane-pool run
-  (``repro.shard.workers.STATS_FIELDS``).  Same anti-drift idea as the
-  lint reference: the wire vocabulary and the counters are code-owned
-  constants, and the operator docs may not silently fall behind them.
+  (``repro.shard.workers.STATS_FIELDS``) and every fault trace event the
+  time-series collector folds (``repro.obs.timeseries._FAULT_ROW_CODES``).
+  Same anti-drift idea as the lint reference: the wire vocabulary and
+  the counters are code-owned constants, and the operator docs may not
+  silently fall behind them.
 * **Perf report reference** -- ``docs/performance.md`` must mention
   every top-level field of the sidecar perf report
   (``repro.obs.perf_report.PERF_REPORT_FIELDS``) and every section of
@@ -317,6 +319,23 @@ def check_worker_stats_reference(path: str) -> List[str]:
     return problems
 
 
+def check_fault_event_reference(path: str) -> List[str]:
+    """docs/tracing.md mentions every fault-row event the collector folds."""
+    from repro.obs.timeseries import _FAULT_ROW_CODES
+
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for name in _FAULT_ROW_CODES:
+        if f"`{name}`" not in text:
+            problems.append(
+                f"{path}:1: fault trace event {name!r} "
+                "(repro.obs.timeseries._FAULT_ROW_CODES) is not documented "
+                "as a backticked token"
+            )
+    return problems
+
+
 def check_perf_field_reference(path: str) -> List[str]:
     """docs/performance.md mentions every perf-report and pool field."""
     from repro.obs.perf import POOL_PERF_FIELDS
@@ -358,6 +377,7 @@ def check_file(path: str) -> List[str]:
         problems += check_worker_protocol_reference(path)
     if os.path.basename(path) == "tracing.md" and in_docs:
         problems += check_worker_stats_reference(path)
+        problems += check_fault_event_reference(path)
     if os.path.basename(path) == "performance.md" and in_docs:
         problems += check_perf_field_reference(path)
     return problems

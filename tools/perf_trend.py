@@ -59,9 +59,9 @@ HEADLINES: Dict[str, Tuple[str, str, bool]] = {
         True,
     ),
     "BENCH_faults.json": (
-        "throughput_events_per_s.no_faults",
-        "events/s",
-        True,
+        "timings_s.grid_smoke",
+        "s",
+        False,
     ),
     "BENCH_timeseries.json": (
         "throughput_events_per_s.untraced",
